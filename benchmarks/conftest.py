@@ -1,0 +1,39 @@
+"""Shared infrastructure for the paper-figure benchmarks.
+
+Every ``bench_figXX`` module regenerates one table/figure of the paper.
+The regenerated rows/series are printed to stdout (visible with ``-s``)
+and archived under ``benchmarks/results/`` so EXPERIMENTS.md can cite them.
+
+Run everything with:
+
+    pytest benchmarks/ --benchmark-only
+
+The pytest-benchmark timings measure the *wall-clock* cost of driving the
+simulator; the scientific content (the paper's numbers) is in the printed
+tables, which report *simulated* time from the performance model.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+@pytest.fixture(scope="session")
+def results_dir() -> Path:
+    RESULTS_DIR.mkdir(exist_ok=True)
+    return RESULTS_DIR
+
+
+@pytest.fixture
+def record_output(results_dir):
+    """Return a writer that prints and archives a benchmark's table."""
+
+    def _write(name: str, text: str) -> None:
+        print(f"\n{text}\n")
+        (results_dir / f"{name}.txt").write_text(text + "\n")
+
+    return _write

@@ -1,0 +1,62 @@
+#!/usr/bin/env python
+"""Multi-GPU scaling of GMRES and CA-GMRES (the Fig. 14 experiment shape).
+
+Solves the banded FEM analog on 1-3 simulated GPUs with standard
+GMRES(60)/CGS and CA-GMRES(15, 60)/CholQR and prints the paper's table
+columns: restarts, Orth time per restart, TSQR share, SpMV/MPK time per
+restart, total per restart, and the speedup over GMRES on the same device
+count.
+
+Run:  python examples/multi_gpu_scaling.py
+"""
+
+import numpy as np
+
+from repro.harness import format_table
+from repro.harness.experiment import run_solver_experiment, solver_table_row
+from repro.matrices import cant
+
+
+def main() -> None:
+    A = cant(nx=96, ny=16, nz=16)  # ~49k rows, ~2.4M nnz
+    b = np.ones(A.n_rows)
+    m, s = 60, 15
+    print(
+        f"cant analog: n = {A.n_rows}, nnz = {A.nnz} "
+        f"({A.nnz / A.n_rows:.1f}/row), natural ordering\n"
+        f"GMRES({m}) vs CA-GMRES({s}, {m}), tol = 1e-4 relative\n"
+    )
+    rows = []
+    gmres_total = {}
+    for n_gpus in (1, 2, 3):
+        rec = run_solver_experiment(
+            f"GMRES/CGS", A, b, "gmres", n_gpus,
+            m=m, tol=1e-4, orth_method="cgs", max_restarts=8,
+        )
+        gmres_total[n_gpus] = rec.total_ms
+        rows.append(solver_table_row(rec))
+    for n_gpus in (1, 2, 3):
+        rec = run_solver_experiment(
+            f"CA-GMRES s={s} 2xCholQR", A, b, "ca_gmres", n_gpus,
+            s=s, m=m, tol=1e-4, tsqr_method="cholqr", reorth=2,
+            basis="newton", max_restarts=8,
+        )
+        rec.speedup = gmres_total[n_gpus] / rec.total_ms
+        rows.append(solver_table_row(rec))
+    print(
+        format_table(
+            ["GPUs", "solver", "Rest.", "Orth/Res ms", "TSQR/Res ms",
+             "SpMV/Res ms", "Total/Res ms", "SpdUp"],
+            rows,
+        )
+    )
+    print(
+        "\nReading the table: Orth time drops sharply for CA-GMRES (block\n"
+        "BLAS-3 kernels + 2 communication phases per block), SpMV->MPK\n"
+        "gains are modest (Section IV), and both solvers scale with GPU\n"
+        "count once per-device work amortizes PCIe latency."
+    )
+
+
+if __name__ == "__main__":
+    main()

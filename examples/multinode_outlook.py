@@ -1,0 +1,65 @@
+#!/usr/bin/env python
+"""The paper's closing question: CA-GMRES across multiple compute nodes.
+
+"Finally ... we would like to study ... the performance of CA-GMRES on a
+larger number of GPUs, in particular, the GPUs distributed over multiple
+compute nodes, where the communication is more expensive."
+
+Runs GMRES and CA-GMRES on 2 nodes x 3 simulated GPUs while sweeping the
+inter-node network latency, and renders the speedup trend as an ASCII
+chart.  The more expensive communication is, the more avoiding it pays.
+
+Run:  python examples/multinode_outlook.py
+"""
+
+import numpy as np
+
+from repro.core import ca_gmres, gmres
+from repro.gpu.multinode import MultiNodeContext, NetworkSpec
+from repro.harness import ascii_plot, format_table
+from repro.matrices import cant
+
+
+def main() -> None:
+    A = cant(nx=96, ny=16, nz=16)
+    b = np.ones(A.n_rows)
+    latencies_us = [2, 5, 10, 20, 40, 70, 100]
+    rows = []
+    speedups = []
+    for lat in latencies_us:
+        net = NetworkSpec(latency=lat * 1e-6, bandwidth=3.2e9)
+        r_g = gmres(
+            A, b, ctx=MultiNodeContext(2, 3, network=net), m=30,
+            tol=1e-14, max_restarts=1,
+        )
+        r_c = ca_gmres(
+            A, b, ctx=MultiNodeContext(2, 3, network=net), s=10, m=30,
+            tol=1e-14, max_restarts=2, basis="monomial",
+        )
+        speedup = r_g.time_per_restart() / r_c.time_per_restart()
+        speedups.append(speedup)
+        rows.append(
+            [lat, 1e3 * r_g.time_per_restart(), 1e3 * r_c.time_per_restart(),
+             f"{speedup:.2f}"]
+        )
+    print(
+        format_table(
+            ["latency (us)", "GMRES ms/res", "CA-GMRES ms/res", "speedup"],
+            rows,
+            title="2 nodes x 3 GPUs, cant analog, inter-node latency sweep\n",
+        )
+    )
+    print()
+    print(
+        ascii_plot(
+            latencies_us,
+            {"CA-GMRES speedup": speedups},
+            width=56,
+            height=12,
+            title="speedup of CA-GMRES over GMRES vs network latency (us)",
+        )
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,50 @@
+"""repro — CA-GMRES on multicores with multiple (simulated) GPUs.
+
+A complete reproduction of
+
+    I. Yamazaki, H. Anzt, S. Tomov, M. Hoemmen, J. Dongarra,
+    "Improving the Performance of CA-GMRES on Multicores with Multiple
+    GPUs", IPDPS 2014.
+
+Quick start
+-----------
+>>> import numpy as np
+>>> from repro import ca_gmres, gmres
+>>> from repro.matrices import poisson2d
+>>> A = poisson2d(32)                      # 1024 x 1024 SPD stencil
+>>> b = np.ones(A.n_rows)
+>>> result = ca_gmres(A, b, n_gpus=3, s=10, m=30, tsqr_method="cholqr")
+>>> bool(result.converged)
+True
+
+Packages
+--------
+``repro.core``     GMRES / CA-GMRES drivers, Newton shifts, least squares.
+``repro.mpk``      Matrix powers kernel + structural analysis (Figs. 6-8).
+``repro.orth``     TSQR variants, BOrth, error metrics (Figs. 9-11, 13).
+``repro.gpu``      Simulated multi-GPU runtime (devices, PCIe, counters).
+``repro.perf``     Machine + kernel cost models (calibrated to Fig. 11).
+``repro.dist``     Block-row distributed matrices and multivectors.
+``repro.sparse``   CSR / ELLPACK / COO formats, Matrix Market I/O.
+``repro.order``    RCM, k-way partitioning, block-row partitions.
+``repro.matrices`` Synthetic analogs of the paper's test matrices (Fig. 12).
+``repro.harness``  Experiment runner and table/series formatting.
+"""
+
+from .core import ca_gmres, gmres
+from .core.convergence import SolveResult
+from .gpu.context import MultiGpuContext
+from .sparse import CooMatrix, CsrMatrix, EllpackMatrix
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "ca_gmres",
+    "gmres",
+    "SolveResult",
+    "MultiGpuContext",
+    "CooMatrix",
+    "CsrMatrix",
+    "EllpackMatrix",
+    "__version__",
+]

@@ -1,0 +1,249 @@
+"""Command-line interface: regenerate paper figures and run demo solves.
+
+Usage::
+
+    python -m repro list                      # available experiments
+    python -m repro fig06 [--out results/]    # regenerate one figure
+    python -m repro solve --matrix g3_circuit --solver ca_gmres --gpus 3
+    python -m repro suite                     # Fig. 12 matrix table
+
+The figure commands drive the same code as ``pytest benchmarks/`` but
+without the pytest machinery, so they are convenient for interactive use.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+import numpy as np
+
+__all__ = ["main"]
+
+
+def _cmd_list(_args) -> int:
+    print("experiments:")
+    for name, doc in sorted(_EXPERIMENTS.items()):
+        print(f"  {name:8s} {doc}")
+    print("\nother commands: solve, suite")
+    return 0
+
+
+def _write(out_dir: str | None, name: str, text: str) -> None:
+    print(text)
+    if out_dir:
+        path = Path(out_dir)
+        path.mkdir(parents=True, exist_ok=True)
+        (path / f"{name}.txt").write_text(text + "\n")
+
+
+def _cmd_fig06(args) -> int:
+    from repro.harness import format_series
+    from repro.matrices import cant, g3_circuit
+    from repro.mpk.analysis import surface_to_volume
+    from repro.order import block_row_partition, kway_partition, rcm
+
+    s_values = [1, 2, 3, 4, 5, 6, 8, 10]
+    for name, matrix in (
+        ("cant", cant(nx=48, ny=10, nz=10)),
+        ("g3_circuit", g3_circuit(nx=96, ny=96)),
+    ):
+        n = matrix.n_rows
+        series = {}
+        configs = {
+            "natural": (matrix, block_row_partition(n, 3)),
+            "rcm": (matrix.permute(rcm(matrix)), block_row_partition(n, 3)),
+            "kway": (matrix, kway_partition(matrix, 3)),
+        }
+        for label, (mat, part) in configs.items():
+            series[label] = [
+                float(np.mean(surface_to_volume(mat, part, s))) for s in s_values
+            ]
+        _write(
+            args.out, f"fig06_{name}",
+            format_series("s", s_values, series,
+                          title=f"Fig. 6 — surface-to-volume, {name} (3 GPUs)"),
+        )
+    return 0
+
+
+def _cmd_fig10(args) -> int:
+    from repro.harness import format_table
+    from repro.orth import TSQR_PROPERTY_TABLE
+
+    s = 14
+    rows = [
+        [m.upper(), p.error_bound, p.flops_leading, p.blas_level, p.comm_phases(s)]
+        for m, p in sorted(TSQR_PROPERTY_TABLE.items())
+    ]
+    _write(
+        args.out, "fig10",
+        format_table(
+            ["method", "||I-Q'Q||", "flops", "BLAS", f"comm (s={s})"],
+            rows, title="Fig. 10 — TSQR properties",
+        ),
+    )
+    return 0
+
+
+def _cmd_fig11(args) -> int:
+    from repro.harness import format_series
+    from repro.perf.kernels import kernel_flops_bytes
+    from repro.perf.model import PerformanceModel
+
+    model = PerformanceModel()
+    n_values = [100_000, 400_000, 1_000_000]
+
+    def rate(op, variant, cpu=False, **shape):
+        flops, _ = kernel_flops_bytes(op, variant, **shape)
+        t = (
+            model.cpu_time(op, variant, **shape)
+            if cpu
+            else model.gpu_time(op, variant, **shape)
+        )
+        return flops / t / 1e9
+
+    gemm = {
+        v: [rate("gemm_tn", v, cpu=(v == "mkl"), n=n, k=30, j=30) for n in n_values]
+        for v in ("cublas", "mkl", "batched")
+    }
+    gemv = {
+        v: [rate("gemv_t", v, cpu=(v == "mkl"), n=n, k=30) for n in n_values]
+        for v in ("cublas", "mkl", "magma")
+    }
+    _write(args.out, "fig11a",
+           format_series("n", n_values, gemm, title="Fig. 11(a) — DGEMM Gflop/s"))
+    _write(args.out, "fig11b",
+           format_series("n", n_values, gemv, title="Fig. 11(b) — DGEMV Gflop/s"))
+    return 0
+
+
+def _cmd_fig08(args) -> int:
+    from repro.dist.multivector import DistMultiVector
+    from repro.gpu.context import MultiGpuContext
+    from repro.harness import ascii_plot, format_series
+    from repro.matrices import cant
+    from repro.mpk import MatrixPowersKernel
+    from repro.order import block_row_partition
+
+    s_values = [1, 2, 3, 4, 5, 6, 8, 10]
+    m = 100
+    matrix = cant(nx=48, ny=10, nz=10)
+    part = block_row_partition(matrix.n_rows, 3)
+    v0 = np.ones(matrix.n_rows) / np.sqrt(matrix.n_rows)
+    totals = []
+    for s in s_values:
+        ctx = MultiGpuContext(3)
+        mpk = MatrixPowersKernel(ctx, matrix, part, s)
+        V = DistMultiVector(ctx, part, s + 1)
+        V.set_column_from_host(0, v0)
+        ctx.reset_clocks()
+        for _ in range(-(-m // s)):
+            with ctx.region("mpk"):
+                mpk.run(V, 0)
+        totals.append(1e3 * ctx.timers["mpk"])
+    _write(
+        args.out, "fig08",
+        format_series("s", s_values, {"total (ms)": totals},
+                      title=f"Fig. 8 — MPK time for m={m} vectors, cant analog"),
+    )
+    print()
+    print(ascii_plot(s_values, {"MPK total ms": totals}, width=48, height=10))
+    return 0
+
+
+def _cmd_suite(args) -> int:
+    from repro.harness import format_table
+    from repro.matrices.suite import PAPER_SUITE, dominant_ritz_ratio, load_suite_matrix
+
+    rows = []
+    for name in sorted(PAPER_SUITE):
+        A, info = load_suite_matrix(name)
+        t1, t2 = dominant_ritz_ratio(A, n_iter=40)
+        rows.append(
+            [name, info.source, A.n_rows, round(A.nnz / A.n_rows, 2),
+             round(t1 / t2, 4), info.gmres_m, info.ca_s]
+        )
+    _write(
+        args.out, "suite",
+        format_table(
+            ["name", "source", "n", "nnz/n", "th1/th2", "m", "s"],
+            rows, title="Test-matrix suite (Fig. 12 analogs)",
+        ),
+    )
+    return 0
+
+
+def _cmd_solve(args) -> int:
+    from repro.core.ca_gmres import ca_gmres
+    from repro.core.gmres import gmres
+    from repro.matrices.suite import load_suite_matrix
+    from repro.order import kway_partition
+
+    A, info = load_suite_matrix(args.matrix)
+    b = np.ones(A.n_rows)
+    partition = (
+        kway_partition(A, args.gpus)
+        if info.ordering == "kway" and args.gpus > 1
+        else None
+    )
+    common = dict(
+        n_gpus=args.gpus, partition=partition, m=info.gmres_m,
+        tol=args.tol, max_restarts=args.max_restarts,
+    )
+    if args.solver == "gmres":
+        result = gmres(A, b, **common)
+    else:
+        result = ca_gmres(A, b, s=info.ca_s, **common)
+    print(f"matrix     : {args.matrix} (n={A.n_rows}, nnz/row={A.nnz / A.n_rows:.1f})")
+    print(f"solver     : {args.solver} on {args.gpus} simulated GPU(s)")
+    print(f"converged  : {result.converged}")
+    print(f"restarts   : {result.n_restarts}  iterations: {result.n_iterations}")
+    print(f"time/restart (simulated): {1e3 * result.time_per_restart():.2f} ms")
+    phases = {k: f"{1e3 * v:.2f}" for k, v in sorted(result.timers.items())}
+    print(f"phase ms   : {phases}")
+    return 0 if result.converged or args.max_restarts else 1
+
+
+_EXPERIMENTS = {
+    "fig06": "MPK surface-to-volume ratio vs s",
+    "fig08": "MPK run time vs s (with ASCII plot)",
+    "fig10": "TSQR property table",
+    "fig11": "tall-skinny kernel Gflop/s (model)",
+}
+
+_HANDLERS = {
+    "list": _cmd_list,
+    "fig06": _cmd_fig06,
+    "fig08": _cmd_fig08,
+    "fig10": _cmd_fig10,
+    "fig11": _cmd_fig11,
+    "suite": _cmd_suite,
+    "solve": _cmd_solve,
+}
+
+
+def main(argv: list[str] | None = None) -> int:
+    """Entry point for ``python -m repro``; returns the process exit code."""
+    parser = argparse.ArgumentParser(
+        prog="python -m repro",
+        description="CA-GMRES reproduction: figures and demo solves",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+    for name in ("list", "fig06", "fig08", "fig10", "fig11", "suite"):
+        p = sub.add_parser(name)
+        p.add_argument("--out", default=None, help="directory for table files")
+    p = sub.add_parser("solve")
+    p.add_argument("--matrix", default="g3_circuit",
+                   choices=["cant", "g3_circuit", "dielfilter", "nlpkkt"])
+    p.add_argument("--solver", default="ca_gmres", choices=["gmres", "ca_gmres"])
+    p.add_argument("--gpus", type=int, default=3)
+    p.add_argument("--tol", type=float, default=1e-4)
+    p.add_argument("--max-restarts", type=int, default=10)
+    args = parser.parse_args(argv)
+    return _HANDLERS[args.command](args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,54 @@
+"""Matrix balancing (Section VI).
+
+"To improve the stability and the convergence, before the iteration starts,
+the matrix is balanced; namely, the rows are first scaled by their norms,
+and then the columns are scaled by their norms."
+
+Balancing transforms ``A x = b`` into ``(D_r A D_c) y = D_r b`` with
+``x = D_c y``; :class:`BalanceResult` carries the scalings so solutions and
+residuals can be mapped back.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..sparse.csr import CsrMatrix
+
+__all__ = ["BalanceResult", "balance_matrix"]
+
+
+@dataclass(frozen=True)
+class BalanceResult:
+    """A balanced system ``(D_r A D_c) y = D_r b``."""
+
+    matrix: CsrMatrix
+    row_scale: np.ndarray  # D_r diagonal
+    col_scale: np.ndarray  # D_c diagonal
+
+    def scale_rhs(self, b: np.ndarray) -> np.ndarray:
+        """Map the original right-hand side into the balanced system."""
+        return self.row_scale * np.asarray(b, dtype=np.float64)
+
+    def unscale_solution(self, y: np.ndarray) -> np.ndarray:
+        """Map a balanced-system solution back: ``x = D_c y``."""
+        return self.col_scale * np.asarray(y, dtype=np.float64)
+
+
+def balance_matrix(matrix: CsrMatrix) -> BalanceResult:
+    """Row-norm then column-norm scaling of a square matrix.
+
+    Rows with zero norm (empty rows) keep scale 1 so the transform stays
+    invertible; same for columns.
+    """
+    if matrix.n_rows != matrix.n_cols:
+        raise ValueError("balance_matrix requires a square matrix")
+    row_norms = matrix.row_norms()
+    row_scale = np.where(row_norms > 0.0, 1.0 / np.maximum(row_norms, 1e-300), 1.0)
+    scaled = matrix.scale_rows(row_scale)
+    col_norms = scaled.col_norms()
+    col_scale = np.where(col_norms > 0.0, 1.0 / np.maximum(col_norms, 1e-300), 1.0)
+    balanced = scaled.scale_cols(col_scale)
+    return BalanceResult(matrix=balanced, row_scale=row_scale, col_scale=col_scale)

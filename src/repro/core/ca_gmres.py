@@ -1,0 +1,445 @@
+"""Communication-Avoiding GMRES — CA-GMRES(s, m), Fig. 2 of the paper.
+
+Each restart cycle generates the ``m+1``-vector basis in blocks of ``s``:
+
+1. **MPK** produces ``s`` new candidate vectors from the last orthonormal
+   basis vector with a single communication phase (monomial or Newton
+   basis with Leja-ordered shifts);
+2. **BOrth** projects the candidates against the previous basis (block CGS
+   or MGS);
+3. **TSQR** orthonormalizes the panel (MGS / CGS / CholQR / SVQR / CAQR,
+   optionally twice — the paper's "2x" configurations).
+
+Hessenberg recovery
+-------------------
+Let block ``c`` start at orthonormal column ``j``.  MPK's output satisfies
+the Krylov relation ``A [q_j, w_1 … w_{s-1}] = [q_j, w_1 … w_s] B_c`` with
+``B_c`` the change-of-basis matrix, and orthogonalization expresses the raw
+vectors in the Q basis: ``w_i = Q C[:, i] + Q_new R[:, i]``.  Collecting the
+coefficient columns ``E_c = [e_j | cycle-R̲ columns]``, the cycle satisfies
+
+    A Q S = Q G,   with  S = [… E_c[:, 0:s_c] …],  G = [… E_c B_c …],
+
+so ``H̲ = G S_m^{-1}`` is the (t+1) x t upper Hessenberg matrix of the
+cycle (S_m is upper triangular with TSQR's positive diagonal).  The
+least-squares problem ``min_z ||β e_1 - H̲ z||`` is then solved exactly as
+in standard GMRES, and ``x += Q_{1:t} z``.
+
+Breakdowns: CholQR fails (Cholesky of a numerically indefinite Gram matrix)
+when the MPK basis is too ill-conditioned; by default the affected block
+falls back to unconditionally stable CAQR and the event is counted
+(``SolveResult.breakdowns``), which is the adaptive behavior the paper lists
+as future work.  ``on_breakdown="raise"`` reproduces the paper's hard
+failure mode instead.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import scipy.linalg
+
+from ..dist.matrix import DistributedMatrix
+from ..dist.multivector import DistMultiVector, DistVector
+from ..gpu import blas
+from ..gpu.context import MultiGpuContext
+from ..mpk.matrix_powers import MatrixPowersKernel
+from ..mpk.shifts import ShiftOp, monomial_shift_ops, newton_shift_ops
+from ..order.partition import Partition, block_row_partition
+from ..orth.borth import borth
+from ..orth.errors import CholeskyBreakdown
+from ..orth.tsqr import tsqr
+from ..orth.errors import (
+    elementwise_error,
+    factorization_error,
+    orthogonality_error,
+)
+from ..sparse.csr import CsrMatrix
+from .balance import balance_matrix
+from .basis import build_change_of_basis, ritz_values
+from .convergence import ConvergenceHistory, SolveResult
+from .gmres import (
+    compute_residual,
+    gathered_solution,
+    normalize_first_column,
+    run_gmres_cycle,
+    update_solution,
+)
+from .lsq import hessenberg_lstsq
+
+__all__ = ["ca_gmres"]
+
+
+def ca_gmres(
+    matrix: CsrMatrix,
+    b: np.ndarray,
+    ctx: MultiGpuContext | None = None,
+    n_gpus: int = 1,
+    partition: Partition | None = None,
+    s: int = 15,
+    m: int = 60,
+    basis: str = "newton",
+    tsqr_method: str = "cholqr",
+    tsqr_variant: str | None = None,
+    borth_method: str = "cgs",
+    reorth: int = 1,
+    use_mpk: bool = True,
+    tol: float = 1e-4,
+    max_restarts: int = 500,
+    balance: bool = True,
+    x0: np.ndarray | None = None,
+    on_breakdown: str = "fallback",
+    collect_tsqr_errors: bool = False,
+    adaptive_s: bool = False,
+    preconditioner=None,
+) -> SolveResult:
+    """Solve ``A x = b`` with CA-GMRES(s, m) on simulated GPUs.
+
+    Parameters
+    ----------
+    matrix, b, ctx, n_gpus, partition, tol, max_restarts, balance, x0
+        As in :func:`repro.core.gmres.gmres`.
+    s
+        Basis vectors generated per communication phase (1 <= s <= m).
+    m
+        Restart length.
+    basis
+        ``"newton"`` (Leja-ordered Ritz shifts; the first restart runs
+        standard GMRES to obtain them, per Section IV-A) or ``"monomial"``.
+    tsqr_method, tsqr_variant
+        Intra-block factorization (``cholqr``/``svqr``/``cgs``/``mgs``/
+        ``caqr``) and its device-kernel variant.
+    borth_method
+        Inter-block projection (``"cgs"`` — the paper's choice — or
+        ``"mgs"``).
+    reorth
+        Orthogonalization passes (2 = the paper's "2x" rows).
+    use_mpk
+        Generate candidates with the matrix powers kernel; ``False`` uses
+        ``s`` plain SpMVs (what Fig. 15 falls back to when MPK is slower).
+    on_breakdown
+        ``"fallback"`` (retry the failing block's TSQR with CAQR) or
+        ``"raise"``.
+    collect_tsqr_errors
+        Record per-TSQR orthogonality / factorization / element-wise errors
+        (Fig. 13) into ``result.details["tsqr_errors"]``.
+    adaptive_s
+        The adaptive step-size scheme the paper lists as future work
+        (Section VII, their ref. [23]): monitor the conditioning of each
+        block's R factor; halve the working ``s`` when the basis degrades
+        (diag-ratio > 1e10) and grow it back toward the requested ``s``
+        while the basis stays healthy.  The chosen block lengths are
+        recorded in ``result.details["s_history"]``.
+    preconditioner
+        Optional right preconditioner with ``fold(A)`` / ``recover(y)``
+        methods (see :mod:`repro.precond`).  Because the preconditioner is
+        *folded* into the operator up front, MPK/BOrth/TSQR run unchanged —
+        the CA-compatible preconditioning route.
+
+    Returns
+    -------
+    SolveResult
+    """
+    if matrix.n_rows != matrix.n_cols:
+        raise ValueError("ca_gmres requires a square matrix")
+    n = matrix.n_rows
+    b = np.asarray(b, dtype=np.float64)
+    if b.shape != (n,):
+        raise ValueError(f"b must have shape ({n},), got {b.shape}")
+    if b.size and not np.all(np.isfinite(b)):
+        raise ValueError("b contains non-finite entries")
+    if not 1 <= s <= m:
+        raise ValueError(f"need 1 <= s <= m, got s={s}, m={m}")
+    if m > n:
+        raise ValueError(f"restart length m={m} exceeds problem size {n}")
+    if basis not in ("newton", "monomial"):
+        raise ValueError(f"unknown basis {basis!r}")
+    if on_breakdown not in ("fallback", "raise"):
+        raise ValueError(f"unknown on_breakdown {on_breakdown!r}")
+    if ctx is None:
+        ctx = MultiGpuContext(n_gpus)
+    if partition is None:
+        partition = block_row_partition(n, ctx.n_gpus)
+
+    A_pre = preconditioner.fold(matrix) if preconditioner is not None else matrix
+    bal = balance_matrix(A_pre) if balance else None
+    A_solve = bal.matrix if bal is not None else A_pre
+    b_solve = bal.scale_rhs(b) if bal is not None else b
+
+    dmat = DistributedMatrix(ctx, A_solve, partition)
+    V = DistMultiVector(ctx, partition, m + 1)
+    x = DistVector(ctx, partition)
+    b_dist = DistVector.from_host(ctx, partition, b_solve)
+    if x0 is not None:
+        if preconditioner is not None:
+            raise ValueError("x0 with a preconditioner is not supported")
+        start = (x0 / bal.col_scale) if bal is not None else x0
+        x.set_from_host(np.asarray(start, dtype=np.float64))
+
+    # Matrix powers kernels, one per distinct block length.
+    mpk_cache: dict[int, MatrixPowersKernel] = {}
+
+    def get_mpk(length: int) -> MatrixPowersKernel:
+        if length not in mpk_cache:
+            mpk_cache[length] = MatrixPowersKernel(ctx, A_solve, partition, length)
+        return mpk_cache[length]
+
+    if use_mpk:
+        for length in {s, m % s} - {0}:
+            get_mpk(length)
+
+    ctx.reset_clocks()
+    ctx.counters.reset()
+
+    history = ConvergenceHistory()
+    r0 = b_solve - A_solve.matvec(gathered_solution(x))
+    history.initial_residual = float(np.linalg.norm(r0))
+    # Already at (numerical) convergence: a relative criterion on a zero
+    # residual would be meaningless.
+    floor = 100.0 * np.finfo(np.float64).eps * float(np.linalg.norm(b_solve))
+    if history.initial_residual <= floor:
+        return _finish(ctx, x, bal, True, 0, 0, history, 0, {}, preconditioner)
+    abs_tol = tol * history.initial_residual
+
+    shifts: np.ndarray | None = None
+    converged = False
+    restarts = 0
+    iterations = 0
+    breakdowns = 0
+    tsqr_errors: list[dict] = []
+    adapt_state = {"s_eff": s, "history": []} if adaptive_s else None
+
+    for _ in range(max_restarts):
+        if basis == "newton" and shifts is None:
+            # Shift-seeding cycle: standard GMRES, Ritz values from its H.
+            info = run_gmres_cycle(
+                ctx, dmat, V, x, b_dist, m, abs_tol,
+                history=history, iteration_offset=iterations,
+            )
+            if info.iterations > 0:
+                square = info.hessenberg[: info.iterations, : info.iterations]
+                ctx.host.charge_small_dense("eig", info.iterations)
+                shifts = ritz_values(square)
+            else:
+                shifts = np.empty(0, dtype=np.complex128)
+            restarts += 1
+            iterations += info.iterations
+        else:
+            cycle_iters, cycle_breakdowns = _ca_cycle(
+                ctx, dmat, V, x, b_dist, s, m, basis, shifts,
+                tsqr_method, tsqr_variant, borth_method, reorth,
+                use_mpk, get_mpk, abs_tol, history, iterations,
+                on_breakdown, collect_tsqr_errors, tsqr_errors, restarts,
+                adapt_state,
+            )
+            restarts += 1
+            iterations += cycle_iters
+            breakdowns += cycle_breakdowns
+        true_res = float(
+            np.linalg.norm(b_solve - A_solve.matvec(gathered_solution(x)))
+        )
+        history.record_true(iterations, true_res)
+        if true_res <= abs_tol:
+            converged = True
+            break
+    details = {}
+    if collect_tsqr_errors:
+        details["tsqr_errors"] = tsqr_errors
+    if adapt_state is not None:
+        details["s_history"] = adapt_state["history"]
+    return _finish(
+        ctx, x, bal, converged, restarts, iterations, history, breakdowns,
+        details, preconditioner,
+    )
+
+
+def _ca_cycle(
+    ctx, dmat, V, x, b_dist, s, m, basis, shifts,
+    tsqr_method, tsqr_variant, borth_method, reorth,
+    use_mpk, get_mpk, abs_tol, history, iteration_offset,
+    on_breakdown, collect_errors, error_log, restart_index,
+    adapt_state=None,
+) -> tuple[int, int]:
+    """One CA-GMRES restart cycle; returns (iterations, breakdowns)."""
+    with ctx.region("spmv"):
+        beta = compute_residual(ctx, dmat, x, b_dist, V)
+    if beta == 0.0:
+        return 0, 0
+    with ctx.region("borth"):
+        normalize_first_column(ctx, V, beta)
+
+    n_cols = m + 1
+    R_bar = np.zeros((n_cols, n_cols), dtype=np.float64)
+    R_bar[0, 0] = 1.0
+    S_full = np.zeros((n_cols, m), dtype=np.float64)
+    G_full = np.zeros((n_cols, m), dtype=np.float64)
+    breakdowns = 0
+    j = 0
+    t = 1  # orthonormal columns available
+    while j < m:
+        s_block = adapt_state["s_eff"] if adapt_state is not None else s
+        s_cur = min(s_block, m - j)
+        ops = _block_shift_ops(basis, shifts, s_cur)
+        # --- candidate generation -------------------------------------
+        if use_mpk:
+            with ctx.region("mpk"):
+                get_mpk(s_cur).run(V, j, ops)
+        else:
+            with ctx.region("spmv"):
+                _spmv_block(ctx, dmat, V, j, ops)
+        # --- orthogonalization ----------------------------------------
+        C, R, block_breakdowns = _orthogonalize(
+            ctx, V, j, s_cur, tsqr_method, tsqr_variant, borth_method,
+            reorth, on_breakdown, collect_errors, error_log, restart_index,
+        )
+        breakdowns += block_breakdowns
+        if adapt_state is not None:
+            _adapt_block_length(adapt_state, R, s, s_cur, block_breakdowns)
+        R_bar[: j + 1, j + 1 : j + s_cur + 1] = C
+        R_bar[j + 1 : j + s_cur + 1, j + 1 : j + s_cur + 1] = R
+        # --- Hessenberg recovery for this block ------------------------
+        B_c = build_change_of_basis(ops)
+        E = np.zeros((n_cols, s_cur + 1), dtype=np.float64)
+        E[j, 0] = 1.0
+        E[:, 1:] = R_bar[:, j + 1 : j + s_cur + 1]
+        S_full[:, j : j + s_cur] = E[:, :s_cur]
+        G_full[:, j : j + s_cur] = E @ B_c
+        j += s_cur
+        t = j + 1
+        # --- residual estimate (host small-dense work) ------------------
+        with ctx.region("lsq"):
+            ctx.host.charge_small_dense("lstsq_hessenberg", t)
+            H_t = _recover_hessenberg(S_full, G_full, t)
+            _, estimate = hessenberg_lstsq(H_t, beta)
+        history.record_estimate(iteration_offset + j, estimate)
+        if estimate <= abs_tol:
+            break
+    # --- solution update ---------------------------------------------
+    with ctx.region("update"):
+        H_t = _recover_hessenberg(S_full, G_full, t)
+        z, _ = hessenberg_lstsq(H_t, beta)
+        ctx.host.charge_small_dense("trsv", t - 1)
+        update_solution(ctx, V, x, z)
+    return j, breakdowns
+
+
+def _adapt_block_length(adapt_state, R, s_max, s_used, block_breakdowns) -> None:
+    """Adjust the working block length from the block's R conditioning.
+
+    The ratio of extreme R diagonals is a cheap lower bound on kappa of the
+    projected basis: above 1e10 (or after a breakdown) the next block is
+    halved; below 1e4 it grows by 50% back toward the requested ``s``.
+    """
+    diag = np.abs(np.diag(R))
+    ratio = float(diag.max() / max(diag.min(), 1e-300)) if diag.size else 1.0
+    s_eff = adapt_state["s_eff"]
+    if block_breakdowns or ratio > 1e10:
+        s_eff = max(2, s_used // 2)
+    elif ratio < 1e4:
+        s_eff = min(s_max, max(s_eff, int(np.ceil(1.5 * s_used))))
+    adapt_state["s_eff"] = s_eff
+    adapt_state["history"].append({"s_used": s_used, "diag_ratio": ratio})
+
+
+def _block_shift_ops(basis: str, shifts, s_cur: int) -> list[ShiftOp]:
+    if basis == "monomial" or shifts is None or len(shifts) == 0:
+        return monomial_shift_ops(s_cur)
+    return newton_shift_ops(shifts, s_cur)
+
+
+def _spmv_block(ctx, dmat, V, j, ops: list[ShiftOp]) -> None:
+    """Generate a block with plain SpMVs + shift updates (MPK disabled)."""
+    for k, op in enumerate(ops, start=1):
+        dmat.spmv(V, j + k - 1, V, j + k)
+        new = V.column(j + k)
+        cur = V.column(j + k - 1)
+        if op.kind in ("real", "complex_first", "complex_second"):
+            for cn, cc in zip(new, cur):
+                blas.axpy(-op.re, cc, cn)
+        if op.kind == "complex_second":
+            prev = V.column(j + k - 2)
+            for cn, cp in zip(new, prev):
+                blas.axpy(op.im**2, cp, cn)
+
+
+def _orthogonalize(
+    ctx, V, j, s_cur, tsqr_method, tsqr_variant, borth_method,
+    reorth, on_breakdown, collect_errors, error_log, restart_index,
+):
+    """BOrth + TSQR (with reorthogonalization) on block [j+1, j+s_cur+1).
+
+    Returns (C, R, breakdowns) with ``W_raw = Q_prev C + Q_new R``.
+    """
+    v_panels = V.panel(j + 1, j + s_cur + 1)
+    q_panels = V.panel(0, j + 1)
+    C_total = np.zeros((j + 1, s_cur), dtype=np.float64)
+    R_total = np.eye(s_cur, dtype=np.float64)
+    breakdowns = 0
+    for _ in range(max(reorth, 1)):
+        with ctx.region("borth"):
+            C_pass = borth(ctx, q_panels, v_panels, method=borth_method)
+        if collect_errors:
+            pre = _gather_panel(V, j + 1, j + s_cur + 1)
+        with ctx.region("tsqr"):
+            try:
+                R_pass = tsqr(ctx, v_panels, method=tsqr_method, variant=tsqr_variant)
+            except CholeskyBreakdown:
+                if on_breakdown == "raise":
+                    raise
+                breakdowns += 1
+                R_pass = tsqr(ctx, v_panels, method="caqr")
+        if collect_errors:
+            post = _gather_panel(V, j + 1, j + s_cur + 1)
+            error_log.append(
+                {
+                    "restart": restart_index,
+                    "block_start": j,
+                    "orthogonality": orthogonality_error(post),
+                    "factorization": factorization_error(pre, post, R_pass),
+                    "elementwise": elementwise_error(pre, post, R_pass),
+                }
+            )
+        C_total = C_total + C_pass @ R_total
+        R_total = R_pass @ R_total
+    return C_total, np.triu(R_total), breakdowns
+
+
+def _gather_panel(V, j0, j1) -> np.ndarray:
+    """Uncosted host copy of a panel (diagnostics only)."""
+    out = np.empty((V.n_rows, j1 - j0), dtype=np.float64)
+    for d in range(V.ctx.n_gpus):
+        rows = V.partition.rows_of(d)
+        out[rows] = V.local[d].data[:, j0:j1]
+    return out
+
+
+def _recover_hessenberg(S_full, G_full, t: int) -> np.ndarray:
+    """``H̲ = G S_m^{-1}`` for the first ``t`` orthonormal columns."""
+    S_m = S_full[: t - 1, : t - 1]
+    G = G_full[:t, : t - 1]
+    # Right-division by the upper-triangular S_m.
+    H = scipy.linalg.solve_triangular(
+        S_m.T, G.T, lower=True, check_finite=False
+    ).T
+    return H
+
+
+def _finish(
+    ctx, x, bal, converged, restarts, iterations, history, breakdowns,
+    details, preconditioner=None,
+):
+    x_host = gathered_solution(x)
+    if bal is not None:
+        x_host = bal.unscale_solution(x_host)
+    if preconditioner is not None:
+        x_host = preconditioner.recover(x_host)
+    return SolveResult(
+        x=x_host,
+        converged=converged,
+        n_restarts=restarts,
+        n_iterations=iterations,
+        history=history,
+        timers=dict(ctx.timers),
+        counters=ctx.counters.snapshot(),
+        breakdowns=breakdowns,
+        details=details,
+    )

@@ -1,0 +1,21 @@
+"""Distributed (block-row) matrices and multivectors over simulated GPUs.
+
+The paper distributes ``A`` and the Krylov basis vectors in block-row format
+(Section III): device ``d`` owns the rows in its partition part and stores a
+local ELLPACK matrix whose column indices are remapped into an *extended
+local vector* ``[own rows | halo rows]``.  The halo (the paper's boundary
+set for s = 1) is exchanged through the CPU before each SpMV, exactly per
+the Setup phase of Fig. 4.
+"""
+
+from .multivector import DistMultiVector, DistVector
+from .exchange import StagedExchange
+from .matrix import DistributedMatrix, HaloPlan
+
+__all__ = [
+    "DistMultiVector",
+    "DistVector",
+    "StagedExchange",
+    "DistributedMatrix",
+    "HaloPlan",
+]

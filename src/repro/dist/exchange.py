@@ -1,0 +1,113 @@
+"""Generic host-staged gather/scatter exchange.
+
+Both the per-iteration SpMV halo exchange and the matrix powers kernel's
+setup phase move vector elements the same way (Fig. 4 Setup):
+
+* every device compresses the elements of its own part that *any* other
+  device needs and ships them to the CPU (<= 1 d2h message per device);
+* the CPU assembles them into a staging buffer;
+* every device receives exactly the elements it asked for
+  (<= 1 h2d message per device).
+
+:class:`StagedExchange` precomputes the index sets once (on the CPU, before
+the iteration starts — as the paper does) and replays the exchange for any
+source vector.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..gpu.context import MultiGpuContext
+from ..gpu.device import DeviceArray
+from ..order.partition import Partition
+
+__all__ = ["StagedExchange"]
+
+
+class StagedExchange:
+    """Precomputed CPU-staged exchange for a fixed set of requested elements.
+
+    Parameters
+    ----------
+    partition
+        Row ownership.
+    recv_global
+        ``recv_global[d]`` lists the *global* indices of the non-owned
+        elements device ``d`` must receive (sorted, unique, none owned
+        by ``d``).
+    """
+
+    def __init__(self, partition: Partition, recv_global: list[np.ndarray]):
+        if len(recv_global) != partition.n_parts:
+            raise ValueError("recv_global must have one entry per part")
+        self.partition = partition
+        self.recv_global = [
+            np.ascontiguousarray(r, dtype=np.int64) for r in recv_global
+        ]
+        for d, req in enumerate(self.recv_global):
+            if req.size and np.any(partition.assignment[req] == d):
+                raise ValueError(f"device {d} requested elements it already owns")
+        owned = [partition.rows_of(d) for d in range(partition.n_parts)]
+        nonempty = [r for r in self.recv_global if r.size]
+        self.union_requested = (
+            np.unique(np.concatenate(nonempty))
+            if nonempty
+            else np.empty(0, dtype=np.int64)
+        )
+        # send_local[d]: positions within device d's own part to compress.
+        self.send_local = []
+        for d in range(partition.n_parts):
+            mine = self.union_requested[
+                partition.assignment[self.union_requested] == d
+            ]
+            self.send_local.append(np.searchsorted(owned[d], mine))
+        # staging positions of each device's incoming elements
+        self._stage_pos = [
+            np.searchsorted(self.union_requested, req) for req in self.recv_global
+        ]
+
+    # -- volumes (paper Section IV-B accounting) ---------------------------
+    def gather_volume(self) -> int:
+        """Elements moved GPU->CPU per exchange: ``|union_d requested_d|``."""
+        return int(self.union_requested.size)
+
+    def scatter_volume(self) -> int:
+        """Elements moved CPU->GPU per exchange: ``sum_d |requested_d|``."""
+        return int(sum(r.size for r in self.recv_global))
+
+    def total_volume(self) -> int:
+        """Gather + scatter element count per exchange."""
+        return self.gather_volume() + self.scatter_volume()
+
+    # -- execution ----------------------------------------------------------
+    def exchange(
+        self, ctx: MultiGpuContext, x_parts: list[DeviceArray]
+    ) -> list[np.ndarray]:
+        """Run one exchange of the current values of ``x_parts``.
+
+        Returns ``received[d]``: the values of ``recv_global[d]`` now resident
+        on device ``d`` (already transferred; the caller places them).
+        Issues at most one d2h and one h2d message per device.
+        """
+        if len(x_parts) != self.partition.n_parts:
+            raise ValueError("x_parts must have one entry per device")
+        stage = np.empty(self.union_requested.size, dtype=np.float64)
+        for d, dev in enumerate(ctx.devices):
+            send = self.send_local[d]
+            if send.size == 0:
+                continue
+            compressed = DeviceArray(x_parts[d].data[send], dev)
+            dev.charge_kernel("copy", "cublas", n=send.size)
+            arrived = ctx.d2h(compressed)
+            mine = self.partition.assignment[self.union_requested] == d
+            stage[mine] = arrived
+        received: list[np.ndarray] = []
+        for d, dev in enumerate(ctx.devices):
+            pos = self._stage_pos[d]
+            if pos.size == 0:
+                received.append(np.empty(0, dtype=np.float64))
+                continue
+            arrived = ctx.h2d(dev, stage[pos])
+            received.append(arrived.data)
+        return received

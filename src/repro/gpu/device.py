@@ -1,0 +1,156 @@
+"""Simulated devices: GPU, host CPU, and the arrays they own.
+
+A :class:`Device` is a clocked execution resource.  Kernels run "on" a device
+by performing the real float64 arithmetic with NumPy and advancing the
+device's clock by the modeled kernel time.  :class:`DeviceArray` tags an
+ndarray with its owning device; mixing arrays from different devices raises
+immediately, which is how the simulator enforces the paper's explicit
+communication structure.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..perf.model import PerformanceModel
+from ..perf.kernels import kernel_flops_bytes
+from .counters import Counters
+
+__all__ = ["Device", "DeviceArray", "Host"]
+
+
+class DeviceArray:
+    """An ndarray resident on one simulated device.
+
+    Thin wrapper: ``.data`` is the real NumPy buffer (views of it are cheap
+    and encouraged, mirroring on-device sub-panels), ``.device`` is the
+    owner.  All arithmetic must go through :mod:`repro.gpu.blas` so that
+    every operation is costed.
+    """
+
+    __slots__ = ("data", "device")
+
+    def __init__(self, data: np.ndarray, device: "Device"):
+        self.data = data
+        self.device = device
+
+    @property
+    def shape(self):
+        return self.data.shape
+
+    @property
+    def ndim(self) -> int:
+        return self.data.ndim
+
+    @property
+    def nbytes(self) -> int:
+        return self.data.nbytes
+
+    def view(self, key) -> "DeviceArray":
+        """A sub-array view on the same device (no copy, no cost)."""
+        return DeviceArray(self.data[key], self.device)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"DeviceArray(shape={self.data.shape}, device={self.device.name})"
+
+
+class _Clocked:
+    """Shared clock behavior for devices and the host."""
+
+    def __init__(self, name: str, perf: PerformanceModel, counters: Counters):
+        self.name = name
+        self.perf = perf
+        self.counters = counters
+        self.clock = 0.0
+
+    def advance(self, seconds: float) -> None:
+        """Move this resource's clock forward."""
+        if seconds < 0:
+            raise ValueError("cannot advance a clock backwards")
+        self.clock += seconds
+
+    def wait_until(self, t: float) -> None:
+        """Block until simulated time ``t`` (no-op if already past)."""
+        if t > self.clock:
+            self.clock = t
+
+
+class Device(_Clocked):
+    """One simulated GPU.
+
+    Parameters
+    ----------
+    device_id
+        Index of this GPU (0-based).
+    perf
+        Shared performance model.
+    counters
+        Shared event counters.
+    """
+
+    def __init__(self, device_id: int, perf: PerformanceModel, counters: Counters):
+        super().__init__(f"gpu{device_id}", perf, counters)
+        self.device_id = int(device_id)
+
+    # -- array management -------------------------------------------------
+    def empty(self, shape, dtype=np.float64) -> DeviceArray:
+        """Uninitialized device allocation (allocation itself is uncosted)."""
+        return DeviceArray(np.empty(shape, dtype=dtype), self)
+
+    def zeros(self, shape, dtype=np.float64) -> DeviceArray:
+        """Zeroed device allocation."""
+        return DeviceArray(np.zeros(shape, dtype=dtype), self)
+
+    def adopt(self, array: np.ndarray) -> DeviceArray:
+        """Declare ``array`` resident on this device *without* a transfer.
+
+        Used for one-time setup (matrix distribution) which the paper's
+        per-restart timings exclude.  Timed data movement must go through
+        ``MultiGpuContext.h2d``.
+        """
+        return DeviceArray(np.asarray(array), self)
+
+    # -- execution ---------------------------------------------------------
+    def charge_kernel(self, op: str, variant: str, **shape) -> float:
+        """Advance this device's clock by one kernel's modeled time."""
+        t = self.perf.gpu_time(op, variant, **shape)
+        self.advance(t)
+        flops, _ = kernel_flops_bytes(op, variant, **shape)
+        self.counters.kernel_launches += 1
+        self.counters.device_flops += flops
+        return t
+
+    def require_resident(self, *arrays: DeviceArray) -> None:
+        """Raise unless every array lives on this device."""
+        for arr in arrays:
+            if not isinstance(arr, DeviceArray):
+                raise TypeError(
+                    f"expected DeviceArray on {self.name}, got {type(arr).__name__}"
+                )
+            if arr.device is not self:
+                raise ValueError(
+                    f"array on {arr.device.name} used in a kernel on {self.name}; "
+                    "move it with an explicit transfer first"
+                )
+
+
+class Host(_Clocked):
+    """The 16-core host CPU: reductions and small dense factorizations."""
+
+    def __init__(self, perf: PerformanceModel, counters: Counters):
+        super().__init__("host", perf, counters)
+
+    def charge_kernel(self, op: str, variant: str = "mkl", **shape) -> float:
+        """Advance the host clock by one threaded-BLAS kernel's time."""
+        t = self.perf.cpu_time(op, variant, **shape)
+        self.advance(t)
+        flops, _ = kernel_flops_bytes(op, variant, **shape)
+        self.counters.host_flops += flops
+        return t
+
+    def charge_small_dense(self, op: str, k: int) -> float:
+        """Advance the host clock by a small k x k LAPACK factorization."""
+        t = self.perf.host_small_dense(op, k)
+        self.advance(t)
+        self.counters.host_small_ops += 1
+        return t

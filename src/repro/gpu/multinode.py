@@ -1,0 +1,156 @@
+"""Multi-node execution context (the paper's Section VII outlook).
+
+"We would like to study ... the performance of CA-GMRES on a larger number
+of GPUs, in particular, the GPUs distributed over multiple compute nodes,
+where the communication is more expensive."
+
+:class:`MultiNodeContext` extends the single-node simulator: devices are
+split over ``n_nodes`` nodes, each with its own PCIe bus, and all host
+staging is rooted at node 0 — data from a device on node ``k > 0`` crosses
+that node's PCIe bus *and* an inter-node network link (higher latency,
+lower bandwidth, e.g. InfiniBand QDR of the Keeneland era).  Every
+communication pattern of the solvers (reductions, broadcasts, halo
+exchanges) automatically pays the extra cost, so the latency-avoiding
+value of MPK/CholQR grows exactly as the paper anticipates.
+
+The root host plays the MPI-rank-0 role of the staging CPU; remote hosts
+act as relays (their relay time is folded into the network message).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..perf.machine import MachineSpec, PcieSpec, keeneland_node
+from .context import MultiGpuContext
+from .device import Device, DeviceArray
+from .pcie import PcieBus
+
+__all__ = ["NetworkSpec", "MultiNodeContext", "infiniband_qdr"]
+
+
+@dataclass(frozen=True)
+class NetworkSpec:
+    """Inter-node interconnect: per-message latency and bandwidth."""
+
+    latency: float  # seconds per message
+    bandwidth: float  # bytes/s
+
+    def __post_init__(self):
+        if self.latency < 0 or self.bandwidth <= 0:
+            raise ValueError("network spec must be positive")
+
+
+def infiniband_qdr() -> NetworkSpec:
+    """Keeneland-era InfiniBand QDR: ~2 us MPI latency, ~3.2 GB/s."""
+    return NetworkSpec(latency=2.0e-6, bandwidth=3.2e9)
+
+
+class _NetworkLink:
+    """One node's link to the root: serializes that node's messages."""
+
+    def __init__(self, spec: NetworkSpec):
+        self.spec = spec
+        self.busy_until = 0.0
+
+    def schedule(self, ready_at: float, nbytes: int) -> float:
+        start = max(ready_at, self.busy_until)
+        end = start + self.spec.latency + nbytes / self.spec.bandwidth
+        self.busy_until = end
+        return end
+
+    def reset(self) -> None:
+        self.busy_until = 0.0
+
+
+class MultiNodeContext(MultiGpuContext):
+    """Devices spread over several nodes, staged through the root host.
+
+    Parameters
+    ----------
+    n_nodes
+        Number of compute nodes.
+    gpus_per_node
+        Devices per node (total devices = ``n_nodes * gpus_per_node``).
+    machine
+        Per-node machine description (defaults to a Keeneland node).
+    network
+        Inter-node link (defaults to InfiniBand QDR).
+    """
+
+    def __init__(
+        self,
+        n_nodes: int = 2,
+        gpus_per_node: int = 3,
+        machine: MachineSpec | None = None,
+        network: NetworkSpec | None = None,
+    ):
+        if n_nodes < 1:
+            raise ValueError("n_nodes must be >= 1")
+        if gpus_per_node < 1:
+            raise ValueError("gpus_per_node must be >= 1")
+        if machine is None:
+            machine = keeneland_node(min(gpus_per_node, 3))
+        super().__init__(n_nodes * gpus_per_node, machine=machine)
+        self.n_nodes = int(n_nodes)
+        self.gpus_per_node = int(gpus_per_node)
+        self.network = network if network is not None else infiniband_qdr()
+        # One PCIe bus per node (the base class bus serves node 0).
+        self._buses = [self.bus] + [
+            PcieBus(machine.pcie) for _ in range(self.n_nodes - 1)
+        ]
+        self._links = [_NetworkLink(self.network) for _ in range(self.n_nodes)]
+
+    # ------------------------------------------------------------------
+    def node_of(self, device: Device) -> int:
+        """Node index hosting a device (devices are blocked by node)."""
+        return device.device_id // self.gpus_per_node
+
+    def reset_clocks(self) -> None:
+        super().reset_clocks()
+        for bus in self._buses:
+            bus.reset()
+        for link in self._links:
+            link.reset()
+
+    # ------------------------------------------------------------------
+    # Transfers: remote devices pay PCIe on their node + the network hop.
+    # ------------------------------------------------------------------
+    def h2d(self, device: Device, array: np.ndarray) -> DeviceArray:
+        array = np.asarray(array)
+        node = self.node_of(device)
+        ready = self.host.clock
+        if node > 0:
+            ready = self._links[node].schedule(ready, array.nbytes)
+            self.counters.h2d_messages += 1  # network hop counted too
+            self.counters.h2d_bytes += array.nbytes
+        end = self._buses[node].schedule(ready, array.nbytes)
+        device.wait_until(end)
+        self.counters.h2d_messages += 1
+        self.counters.h2d_bytes += array.nbytes
+        return DeviceArray(array.copy(), device)
+
+    def d2h(self, darr: DeviceArray, ready_at: float | None = None) -> np.ndarray:
+        node = self.node_of(darr.device)
+        ready = (
+            darr.device.clock
+            if ready_at is None
+            else min(ready_at, darr.device.clock)
+        )
+        end = self._buses[node].schedule(ready, darr.nbytes)
+        self.counters.d2h_messages += 1
+        self.counters.d2h_bytes += darr.nbytes
+        if node > 0:
+            end = self._links[node].schedule(end, darr.nbytes)
+            self.counters.d2h_messages += 1
+            self.counters.d2h_bytes += darr.nbytes
+        self.host.wait_until(end)
+        return np.array(darr.data, copy=True)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"MultiNodeContext(n_nodes={self.n_nodes}, "
+            f"gpus_per_node={self.gpus_per_node})"
+        )

@@ -1,0 +1,49 @@
+"""PCIe bus model.
+
+The three M2090s in a Keeneland node reach the host over PCIe gen 2; the
+paper identifies the gather/scatter of vector elements over this bus as the
+SpMV bottleneck that MPK amortizes (Section IV).  The model:
+
+* each message costs ``latency + bytes / bandwidth``;
+* when ``shared_bus`` is set (the default, matching the testbed), transfers
+  from different devices serialize on the bus: a transfer starts no earlier
+  than both its producer's clock and the bus's previous completion;
+* a transfer never blocks its *producer* (DMA copy engines run alongside
+  compute); it delays its *consumer*, which waits for the data's arrival.
+"""
+
+from __future__ import annotations
+
+from ..perf.machine import PcieSpec
+
+__all__ = ["PcieBus"]
+
+
+class PcieBus:
+    """Shared host-device interconnect with latency/bandwidth/serialization."""
+
+    def __init__(self, spec: PcieSpec):
+        self.spec = spec
+        self.busy_until = 0.0
+
+    def message_time(self, nbytes: int) -> float:
+        """Cost of one message of ``nbytes`` in isolation."""
+        if nbytes < 0:
+            raise ValueError("nbytes must be non-negative")
+        return self.spec.latency + nbytes / self.spec.bandwidth
+
+    def schedule(self, ready_at: float, nbytes: int) -> float:
+        """Schedule a message whose payload is ready at ``ready_at``.
+
+        Returns the completion time.  With a shared bus the transfer also
+        queues behind the previous one.
+        """
+        start = max(ready_at, self.busy_until) if self.spec.shared_bus else ready_at
+        end = start + self.message_time(nbytes)
+        if self.spec.shared_bus:
+            self.busy_until = end
+        return end
+
+    def reset(self) -> None:
+        """Clear bus occupancy (used when a context resets its clocks)."""
+        self.busy_until = 0.0

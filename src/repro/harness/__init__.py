@@ -1,0 +1,20 @@
+"""Experiment harness: table/series formatting and experiment records.
+
+The benchmark scripts in ``benchmarks/`` use these helpers to print the
+rows/series of each paper figure/table in a uniform, grep-friendly layout
+and to collect machine-readable records for EXPERIMENTS.md.
+"""
+
+from .tables import format_table, format_series, format_float
+from .plot import ascii_plot
+from .experiment import ExperimentRecord, run_solver_experiment, solver_table_row
+
+__all__ = [
+    "format_table",
+    "format_series",
+    "format_float",
+    "ascii_plot",
+    "ExperimentRecord",
+    "run_solver_experiment",
+    "solver_table_row",
+]

@@ -1,0 +1,105 @@
+"""Terminal (ASCII) line plots for figure-style data.
+
+The benchmarks archive their numbers as aligned tables; for quick visual
+inspection of the paper's figure *shapes* (crossovers, saturation, scaling)
+``ascii_plot`` renders one or more series as a character raster — no
+plotting dependency needed.
+"""
+
+from __future__ import annotations
+
+import math
+
+__all__ = ["ascii_plot"]
+
+_MARKERS = "ox+*#@%&"
+
+
+def ascii_plot(
+    x_values,
+    series: dict,
+    width: int = 60,
+    height: int = 16,
+    title: str = "",
+    logy: bool = False,
+) -> str:
+    """Render series as an ASCII chart.
+
+    Parameters
+    ----------
+    x_values
+        Shared x coordinates (numeric, ascending).
+    series
+        Mapping label -> list of y values (same length as ``x_values``);
+        ``None`` entries are skipped.
+    width, height
+        Plot raster size in characters (excluding axes).
+    title
+        Optional heading line.
+    logy
+        Log-scale the y axis (all plotted values must be positive).
+
+    Returns
+    -------
+    str
+        The rendered chart, including a legend mapping markers to labels.
+    """
+    x_values = [float(x) for x in x_values]
+    if not x_values:
+        raise ValueError("x_values must not be empty")
+    if not series:
+        raise ValueError("series must not be empty")
+    if len(series) > len(_MARKERS):
+        raise ValueError(f"at most {len(_MARKERS)} series supported")
+    for label, ys in series.items():
+        if len(ys) != len(x_values):
+            raise ValueError(f"series {label!r} length mismatch")
+
+    def transform(v: float) -> float:
+        if logy:
+            if v <= 0:
+                raise ValueError("logy requires positive values")
+            return math.log10(v)
+        return v
+
+    points = [
+        (x, transform(float(y)), marker)
+        for marker, (label, ys) in zip(_MARKERS, series.items())
+        for x, y in zip(x_values, ys)
+        if y is not None
+    ]
+    if not points:
+        raise ValueError("no plottable points")
+    xs = [p[0] for p in points]
+    ys = [p[1] for p in points]
+    x_lo, x_hi = min(xs), max(xs)
+    y_lo, y_hi = min(ys), max(ys)
+    x_span = (x_hi - x_lo) or 1.0
+    y_span = (y_hi - y_lo) or 1.0
+
+    grid = [[" "] * width for _ in range(height)]
+    for x, y, marker in points:
+        col = int(round((x - x_lo) / x_span * (width - 1)))
+        row = height - 1 - int(round((y - y_lo) / y_span * (height - 1)))
+        grid[row][col] = marker
+
+    def y_label(row: int) -> float:
+        frac = (height - 1 - row) / (height - 1)
+        value = y_lo + frac * y_span
+        return 10**value if logy else value
+
+    lines = []
+    if title:
+        lines.append(title)
+    for row in range(height):
+        label = f"{y_label(row):10.3g} |" if row % 4 == 0 or row == height - 1 else " " * 10 + " |"
+        lines.append(label + "".join(grid[row]))
+    lines.append(" " * 11 + "+" + "-" * width)
+    lines.append(
+        " " * 12 + f"{x_lo:<10.3g}" + " " * max(width - 22, 1) + f"{x_hi:>10.3g}"
+    )
+    legend = "   ".join(
+        f"{marker} {label}" for marker, label in zip(_MARKERS, series)
+    )
+    lines.append(" " * 12 + legend)
+    return "\n".join(lines)

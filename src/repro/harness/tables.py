@@ -1,0 +1,52 @@
+"""Plain-text table and series formatting for benchmark output."""
+
+from __future__ import annotations
+
+import math
+
+__all__ = ["format_float", "format_table", "format_series"]
+
+
+def format_float(value, digits: int = 4) -> str:
+    """Compact float formatting: fixed for moderate values, sci otherwise."""
+    if value is None:
+        return "-"
+    if isinstance(value, str):
+        return value
+    v = float(value)
+    if v == 0.0:
+        return "0"
+    if math.isnan(v):
+        return "nan"
+    mag = abs(v)
+    if 1e-3 <= mag < 1e5:
+        return f"{v:.{digits}g}"
+    return f"{v:.{max(digits - 2, 1)}e}"
+
+
+def format_table(headers: list, rows: list, title: str = "") -> str:
+    """Render an aligned fixed-width table."""
+    cells = [[format_float(c) if not isinstance(c, str) else c for c in row] for row in rows]
+    headers = [str(h) for h in headers]
+    widths = [len(h) for h in headers]
+    for row in cells:
+        for i, c in enumerate(row):
+            widths[i] = max(widths[i], len(c))
+    lines = []
+    if title:
+        lines.append(title)
+    sep = "-+-".join("-" * w for w in widths)
+    lines.append(" | ".join(h.ljust(w) for h, w in zip(headers, widths)))
+    lines.append(sep)
+    for row in cells:
+        lines.append(" | ".join(c.ljust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def format_series(x_name: str, x_values, series: dict, title: str = "") -> str:
+    """Render aligned columns for figure-style data (one x column, N series)."""
+    headers = [x_name] + list(series.keys())
+    rows = []
+    for i, x in enumerate(x_values):
+        rows.append([x] + [series[k][i] for k in series])
+    return format_table(headers, rows, title=title)

@@ -1,0 +1,45 @@
+"""Synthetic test matrices.
+
+The paper's matrices come from the University of Florida collection
+(Fig. 12); without network access this package generates *structural
+analogs* at reduced scale (see DESIGN.md for the substitution argument):
+
+=================  =======================  ==========  =========
+paper matrix       analog constructor       nnz/row     character
+=================  =======================  ==========  =========
+cant               :func:`cant`             ~64         banded 3D FEM, SPD-ish
+G3_circuit         :func:`g3_circuit`       ~4.8        irregular, no locality
+dielFilterV2real   :func:`dielfilter`       ~42         3D vector FEM
+nlpkkt120          :func:`nlpkkt`           ~27         KKT saddle point
+=================  =======================  ==========  =========
+
+Plus standard generators (Poisson, convection-diffusion, random banded)
+used throughout the tests and examples.  Real UF ``.mtx`` files can be
+loaded with :func:`repro.sparse.read_matrix_market` and dropped into any
+benchmark instead.
+"""
+
+from .stencil import poisson2d, poisson3d, convection_diffusion2d, stencil3d
+from .fem import cant, dielfilter
+from .circuit import g3_circuit
+from .kkt import nlpkkt
+from .random_sparse import random_banded, random_sparse, well_conditioned_tall_skinny
+from .suite import PAPER_SUITE, MatrixInfo, load_suite_matrix, dominant_ritz_ratio
+
+__all__ = [
+    "poisson2d",
+    "poisson3d",
+    "convection_diffusion2d",
+    "stencil3d",
+    "cant",
+    "dielfilter",
+    "g3_circuit",
+    "nlpkkt",
+    "random_banded",
+    "random_sparse",
+    "well_conditioned_tall_skinny",
+    "PAPER_SUITE",
+    "MatrixInfo",
+    "load_suite_matrix",
+    "dominant_ritz_ratio",
+]

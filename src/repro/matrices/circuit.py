@@ -1,0 +1,80 @@
+"""Circuit-simulation analog of ``G3_circuit``.
+
+G3_circuit (1.585M rows, 4.8 nnz/row, SPD) is a circuit conductance matrix:
+extremely sparse, and — crucially for the paper's Fig. 6 — its *natural*
+(netlist) ordering has no spatial locality, so a block-row split under
+natural ordering reaches the full index set after very few matrix powers,
+while RCM/k-way reorderings restore locality.
+
+The analog is a 2-D 5-point grid Laplacian (4.96 nnz/row interior) with a
+sprinkling of random long-range "wires", presented under a random
+permutation as its natural ordering.  RCM/KWY recover the grid locality
+just as they do for the real netlist.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..sparse.coo import CooBuilder
+from ..sparse.csr import CsrMatrix
+
+__all__ = ["g3_circuit"]
+
+
+def g3_circuit(
+    nx: int = 128,
+    ny: int | None = None,
+    long_range_fraction: float = 0.01,
+    scramble: bool = True,
+    seed: int = 20140519,
+) -> CsrMatrix:
+    """Irregular conductance-matrix analog (SPD, ~4.8-5 nnz/row).
+
+    Parameters
+    ----------
+    nx, ny
+        Underlying grid (n = nx * ny unknowns; 16384 by default).
+    long_range_fraction
+        Fraction of nodes given one extra random long-range connection.
+    scramble
+        Present the matrix under a random permutation — the "natural"
+        netlist ordering with no locality.  Set ``False`` to expose the
+        underlying grid ordering directly.
+    seed
+        Deterministic generator seed.
+    """
+    if ny is None:
+        ny = nx
+    if nx < 2 or ny < 2:
+        raise ValueError("grid must be at least 2 x 2")
+    if not 0.0 <= long_range_fraction <= 1.0:
+        raise ValueError("long_range_fraction must be in [0, 1]")
+    rng = np.random.default_rng(seed)
+    n = nx * ny
+    idx = np.arange(n).reshape(nx, ny)
+    builder = CooBuilder((n, n))
+    # Grid conductances with mild random variation (well-conditioned SPD).
+    def _edge(a: np.ndarray, c: np.ndarray) -> None:
+        g = 0.8 + 0.4 * rng.random(a.size)
+        builder.add(a, c, -g)
+        builder.add(c, a, -g)
+        builder.add(a, a, g)
+        builder.add(c, c, g)
+
+    _edge(idx[1:, :].ravel(), idx[:-1, :].ravel())
+    _edge(idx[:, 1:].ravel(), idx[:, :-1].ravel())
+    n_extra = int(long_range_fraction * n)
+    if n_extra:
+        a = rng.integers(0, n, n_extra)
+        c = rng.integers(0, n, n_extra)
+        keep = a != c
+        _edge(a[keep], c[keep])
+    # Ground a few nodes so the Laplacian is nonsingular.
+    grounded = rng.choice(n, size=max(1, n // 100), replace=False)
+    builder.add(grounded, grounded, 1.0)
+    matrix = builder.build().to_csr()
+    if scramble:
+        perm = rng.permutation(n)
+        matrix = matrix.permute(perm)
+    return matrix

@@ -1,0 +1,92 @@
+"""KKT saddle-point analog of ``nlpkkt120``.
+
+nlpkkt120 (3.54M rows, 26.9 nnz/row, symmetric indefinite) is the KKT
+system of a 3-D PDE-constrained optimization problem.  The analog has the
+same block structure
+
+.. math::
+
+    K = \\begin{pmatrix} H & J^T \\\\ J & -\\delta I \\end{pmatrix}
+
+with ``H`` a (regularized) 3-D 27-point stencil Hessian and ``J`` a 3-D
+7-point constraint Jacobian.  Saddle-point indefiniteness makes restarted
+GMRES converge very slowly — the paper's nlpkkt120 run needs 746
+GMRES(120) iterations, by far its hardest case, and the analog is likewise
+the suite's slowest.
+"""
+
+from __future__ import annotations
+
+import itertools
+
+import numpy as np
+
+from ..sparse.coo import CooBuilder
+from ..sparse.csr import CsrMatrix
+
+__all__ = ["nlpkkt"]
+
+
+def nlpkkt(nx: int = 18, ny: int | None = None, nz: int | None = None, delta: float = 1e-3) -> CsrMatrix:
+    """3-D PDE-constrained KKT analog (symmetric indefinite, ~20-28 nnz/row).
+
+    n = 2 * nx * ny * nz rows (11664 by default).  ``delta`` regularizes
+    the (2,2) block; smaller values make the system harder.  The defaults
+    are tuned so GMRES(120) needs several hundred iterations at tol 1e-4 —
+    the paper's nlpkkt120 run needs 746, its hardest case.
+    """
+    ny = nx if ny is None else ny
+    nz = nx if nz is None else nz
+    if min(nx, ny, nz) < 2:
+        raise ValueError("grid must be at least 2 in each dimension")
+    if delta < 0:
+        raise ValueError("delta must be non-negative")
+    n_nodes = nx * ny * nz
+    n = 2 * n_nodes
+    node = np.arange(n_nodes).reshape(nx, ny, nz)
+    builder = CooBuilder((n, n))
+
+    # H block (rows/cols 0 .. n_nodes-1): 27-point SPD stencil.
+    for dx, dy, dz in itertools.product((-1, 0, 1), repeat=3):
+        dist = abs(dx) + abs(dy) + abs(dz)
+        w = {0: 7.0, 1: -0.6, 2: -0.2, 3: -0.1}[dist]
+        src = node[
+            max(0, -dx) : nx - max(0, dx),
+            max(0, -dy) : ny - max(0, dy),
+            max(0, -dz) : nz - max(0, dz),
+        ].ravel()
+        dst = node[
+            max(0, dx) : nx - max(0, -dx),
+            max(0, dy) : ny - max(0, -dy),
+            max(0, dz) : nz - max(0, -dz),
+        ].ravel()
+        builder.add(dst, src, w)
+
+    # J block: pure first-difference (gradient) operator with no diagonal —
+    # the nontrivial constraint nullspace is what makes the saddle point
+    # hard; J in (2,1), J^T in (1,2).
+    for dx, dy, dz, w in [
+        (1, 0, 0, -0.5),
+        (-1, 0, 0, 0.5),
+        (0, 1, 0, -0.5),
+        (0, -1, 0, 0.5),
+        (0, 0, 1, -0.5),
+        (0, 0, -1, 0.5),
+    ]:
+        src = node[
+            max(0, -dx) : nx - max(0, dx),
+            max(0, -dy) : ny - max(0, dy),
+            max(0, -dz) : nz - max(0, dz),
+        ].ravel()
+        dst = node[
+            max(0, dx) : nx - max(0, -dx),
+            max(0, dy) : ny - max(0, -dy),
+            max(0, dz) : nz - max(0, -dz),
+        ].ravel()
+        builder.add(n_nodes + dst, src, w)  # J
+        builder.add(src, n_nodes + dst, w)  # J^T
+
+    # -delta I in the (2,2) block keeps the system nonsingular.
+    lag = n_nodes + np.arange(n_nodes)
+    builder.add(lag, lag, -float(delta) if delta > 0 else -1e-8)
+    return builder.build().to_csr()

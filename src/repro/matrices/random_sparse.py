@@ -1,0 +1,90 @@
+"""Random sparse matrices and tall-skinny panels for tests and kernel benches.
+
+The paper's Section V-F studies TSQR "using random matrices"; these
+generators provide deterministic random inputs with controllable
+conditioning.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..sparse.coo import CooMatrix
+from ..sparse.csr import CsrMatrix
+
+__all__ = ["random_banded", "random_sparse", "well_conditioned_tall_skinny"]
+
+
+def random_banded(
+    n: int, bandwidth: int, density: float = 0.6, seed: int = 0, dominant: bool = True
+) -> CsrMatrix:
+    """Random matrix with entries inside a band of half-width ``bandwidth``.
+
+    ``density`` is the fill fraction within the band; with ``dominant`` the
+    diagonal is boosted to make the matrix comfortably nonsingular.
+    """
+    if n < 1:
+        raise ValueError("n must be positive")
+    if bandwidth < 0:
+        raise ValueError("bandwidth must be non-negative")
+    if not 0.0 < density <= 1.0:
+        raise ValueError("density must be in (0, 1]")
+    rng = np.random.default_rng(seed)
+    rows_list = []
+    cols_list = []
+    for offset in range(-bandwidth, bandwidth + 1):
+        length = n - abs(offset)
+        if length <= 0:
+            continue
+        mask = rng.random(length) < density if offset != 0 else np.ones(length, bool)
+        i = np.arange(length)[mask]
+        if offset >= 0:
+            rows_list.append(i)
+            cols_list.append(i + offset)
+        else:
+            rows_list.append(i - offset)
+            cols_list.append(i)
+    rows = np.concatenate(rows_list)
+    cols = np.concatenate(cols_list)
+    vals = rng.standard_normal(rows.size)
+    if dominant:
+        diag = rows == cols
+        vals[diag] = 2.0 * (bandwidth + 1) + rng.random(int(diag.sum()))
+    return CooMatrix((n, n), rows, cols, vals).to_csr()
+
+
+def random_sparse(
+    n: int, nnz_per_row: float, seed: int = 0, dominant: bool = True
+) -> CsrMatrix:
+    """Unstructured random square matrix with ~``nnz_per_row`` entries/row."""
+    if n < 1:
+        raise ValueError("n must be positive")
+    if nnz_per_row < 1:
+        raise ValueError("nnz_per_row must be >= 1")
+    rng = np.random.default_rng(seed)
+    n_off = int(n * max(nnz_per_row - 1, 0))
+    rows = np.concatenate([np.arange(n), rng.integers(0, n, n_off)])
+    cols = np.concatenate([np.arange(n), rng.integers(0, n, n_off)])
+    vals = rng.standard_normal(rows.size)
+    if dominant:
+        vals[:n] = nnz_per_row + 1.0 + rng.random(n)
+    return CooMatrix((n, n), rows, cols, vals).to_csr()
+
+
+def well_conditioned_tall_skinny(
+    n: int, k: int, condition: float = 10.0, seed: int = 0
+) -> np.ndarray:
+    """Dense ``n x k`` panel with a prescribed 2-norm condition number.
+
+    Built as ``Q1 diag(sigma) Q2^T`` with geometrically spaced singular
+    values; used by the TSQR property tests and the Fig. 11 benches.
+    """
+    if n < k:
+        raise ValueError("panel must be tall (n >= k)")
+    if condition < 1.0:
+        raise ValueError("condition must be >= 1")
+    rng = np.random.default_rng(seed)
+    q1, _ = np.linalg.qr(rng.standard_normal((n, k)))
+    q2, _ = np.linalg.qr(rng.standard_normal((k, k)))
+    sigma = np.geomspace(1.0, 1.0 / condition, k)
+    return (q1 * sigma) @ q2.T

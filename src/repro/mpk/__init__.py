@@ -1,0 +1,50 @@
+"""Matrix powers kernel (Section IV of the paper).
+
+Given a starting vector, MPK communicates *all* the vector elements each
+device will ever need for ``s`` successive sparse matrix-vector products up
+front, then computes ``A v, A² v, …, Aˢ v`` (or the Newton-shifted variants)
+entirely locally — trading extra storage, redundant computation, and a
+possibly larger communication *volume* for an ``s``-fold reduction in
+communication *latency* (number of exchange phases).
+
+* :mod:`~repro.mpk.dependency` — the boundary-set recursion δ^(d,k) and
+  level-ordered extended row sets;
+* :mod:`~repro.mpk.matrix_powers` — the executable kernel on the simulated
+  devices;
+* :mod:`~repro.mpk.analysis` — the structural metrics of Figs. 6-7
+  (surface-to-volume ratio, computational overhead W^(d,s), communication
+  volume).
+"""
+
+from .dependency import MpkDependency, compute_dependencies
+from .matrix_powers import MatrixPowersKernel
+from .shifts import (
+    ShiftOp,
+    leja_order,
+    modified_leja_order,
+    monomial_shift_ops,
+    newton_shift_ops,
+)
+from .analysis import (
+    surface_to_volume,
+    computational_overhead,
+    communication_volume,
+    spmv_communication_volume,
+    mpk_structure_report,
+)
+
+__all__ = [
+    "MpkDependency",
+    "compute_dependencies",
+    "MatrixPowersKernel",
+    "ShiftOp",
+    "leja_order",
+    "modified_leja_order",
+    "monomial_shift_ops",
+    "newton_shift_ops",
+    "surface_to_volume",
+    "computational_overhead",
+    "communication_volume",
+    "spmv_communication_volume",
+    "mpk_structure_report",
+]

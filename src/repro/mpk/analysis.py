@@ -1,0 +1,134 @@
+"""Structural analysis of the matrix powers kernel (Figs. 6 and 7).
+
+These metrics are computed from the dependency sets alone (no execution):
+
+* **surface-to-volume ratio** — ``nnz(A(δ^(d,1:s), :)) / nnz(A^(d))``:
+  the memory overhead of the boundary submatrix relative to the local
+  block (Fig. 6);
+* **computational overhead** — ``W^(d,s) = 2 Σ_{k=1}^{s} nnz(A(δ^(d,k:s), :))``,
+  the extra flops MPK performs over ``s`` plain SpMVs (the area under the
+  Fig. 6 curve); total overhead over a restart loop of ``m`` iterations is
+  ``(m/s) W^(d,s)``;
+* **communication volume** — ``(m/s) (|∪_d δ^(d,1:s)| + Σ_d |δ^(d,1:s)|)``:
+  gather plus scatter element counts over ``m`` iterations (Fig. 7).
+
+Note: the executable kernel stores one *fewer* shell than the paper's
+accounting (rows in the farthest shell δ^(d,1) are only read, never
+computed, so their matrix rows are not stored); these functions follow the
+paper's formulas exactly so the figures are comparable.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..order.partition import Partition
+from ..sparse.csr import CsrMatrix
+from .dependency import compute_dependencies
+
+__all__ = [
+    "surface_to_volume",
+    "computational_overhead",
+    "communication_volume",
+    "spmv_communication_volume",
+    "mpk_structure_report",
+]
+
+
+def _nnz_of_rows(matrix: CsrMatrix, rows: np.ndarray) -> int:
+    if rows.size == 0:
+        return 0
+    return int((matrix.indptr[rows + 1] - matrix.indptr[rows]).sum())
+
+
+def surface_to_volume(
+    matrix: CsrMatrix, partition: Partition, s: int
+) -> list[float]:
+    """Per-device ratio ``nnz(A(δ^(d,1:s), :)) / nnz(A^(d))``."""
+    deps = compute_dependencies(matrix, partition, s)
+    ratios = []
+    for dep in deps:
+        local_nnz = _nnz_of_rows(matrix, dep.owned)
+        boundary_nnz = _nnz_of_rows(matrix, dep.boundary)
+        ratios.append(boundary_nnz / local_nnz if local_nnz else 0.0)
+    return ratios
+
+
+def computational_overhead(
+    matrix: CsrMatrix, partition: Partition, s: int
+) -> list[float]:
+    """Per-device extra flops ``W^(d,s)`` of one MPK(s) invocation."""
+    deps = compute_dependencies(matrix, partition, s)
+    out = []
+    for dep in deps:
+        w = 0.0
+        for k in range(1, s + 1):
+            w += 2.0 * _nnz_of_rows(matrix, dep.delta_range(k))
+        out.append(w)
+    return out
+
+
+def communication_volume(
+    matrix: CsrMatrix, partition: Partition, s: int, m: int
+) -> float:
+    """Total elements exchanged by MPK over ``m`` iterations (Fig. 7).
+
+    ``(m/s) * (|∪_d δ^(d,1:s)| + Σ_d |δ^(d,1:s)|)`` — the first term is the
+    GPU→CPU gather, the second the CPU→GPU scatter.
+    """
+    if m < 1:
+        raise ValueError("m must be >= 1")
+    deps = compute_dependencies(matrix, partition, s)
+    boundaries = [dep.boundary for dep in deps]
+    nonempty = [b for b in boundaries if b.size]
+    union = np.unique(np.concatenate(nonempty)).size if nonempty else 0
+    total = sum(b.size for b in boundaries)
+    n_calls = -(-m // s)  # ceil(m / s): number of MPK invocations
+    return float(n_calls * (union + total))
+
+
+def spmv_communication_volume(
+    matrix: CsrMatrix, partition: Partition, m: int
+) -> float:
+    """Total elements exchanged by plain SpMV over ``m`` iterations.
+
+    Equals :func:`communication_volume` with ``s = 1`` — the baseline the
+    Fig. 7 curves are anchored to on the left.
+    """
+    return communication_volume(matrix, partition, 1, m)
+
+
+def mpk_structure_report(
+    matrix: CsrMatrix, partition: Partition, s_values, m: int = 100
+) -> dict:
+    """All Fig. 6/7 series for a sweep of ``s`` values.
+
+    Returns a dict of lists aligned with ``s_values``: mean/max
+    surface-to-volume, mean computational overhead (relative to local nnz),
+    and total communication volume over ``m`` iterations.
+    """
+    s_values = list(s_values)
+    report = {
+        "s": s_values,
+        "surface_to_volume_mean": [],
+        "surface_to_volume_max": [],
+        "overhead_per_restart": [],
+        "comm_volume": [],
+    }
+    local_nnz = [
+        _nnz_of_rows(matrix, partition.rows_of(d))
+        for d in range(partition.n_parts)
+    ]
+    for s in s_values:
+        ratios = surface_to_volume(matrix, partition, s)
+        report["surface_to_volume_mean"].append(float(np.mean(ratios)))
+        report["surface_to_volume_max"].append(float(np.max(ratios)))
+        w = computational_overhead(matrix, partition, s)
+        n_calls = -(-m // s)
+        rel = [
+            n_calls * wd / (2.0 * m * nnz) if nnz else 0.0
+            for wd, nnz in zip(w, local_nnz)
+        ]
+        report["overhead_per_restart"].append(float(np.mean(rel)))
+        report["comm_volume"].append(communication_volume(matrix, partition, s, m))
+    return report

@@ -1,0 +1,143 @@
+"""Boundary-set (dependency) computation for the matrix powers kernel.
+
+Following Section IV-A: for device ``d`` owning rows
+:math:`\\mathbf{i}^{(d,s+1)}`, the rows of vector :math:`v_k` required to
+complete all ``s`` products are
+
+.. math::
+
+    \\mathbf{i}^{(d,k)} = \\mathbf{i}^{(d,k+1)} \\cup \\boldsymbol\\delta^{(d,k)},
+    \\qquad
+    \\boldsymbol\\delta^{(d,k)} =
+        \\bigcup_{i \\in \\mathbf{i}^{(d,k+1)}} \\mathrm{str}(a_{i,:})
+        \\setminus \\mathbf{i}^{(d,k+1)},
+
+computed on the CPU before the iteration begins.  In graph terms
+:math:`\\boldsymbol\\delta^{(d,k)}` is the shell of vertices at distance
+``s - k + 1`` from the local block.
+
+The extended row set is stored *level-ordered* — own rows first, then
+δ^(d,s), δ^(d,s-1), …, δ^(d,1) — so the rows the kernel must compute at
+step ``k`` form a prefix, and each MPK step is a single SpMV over a
+shrinking row prefix.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..order.partition import Partition
+from ..sparse.csr import CsrMatrix
+
+__all__ = ["MpkDependency", "compute_dependencies"]
+
+
+@dataclass(frozen=True)
+class MpkDependency:
+    """Dependency structure of one device for ``MPK(s)``.
+
+    Attributes
+    ----------
+    owned
+        Sorted global row indices of the local block (i^(d,s+1)).
+    deltas
+        ``deltas[0]`` is δ^(d,s) (distance-1 shell), ``deltas[1]`` is
+        δ^(d,s-1), …, ``deltas[s-1]`` is δ^(d,1) (distance-s shell).
+    ext_rows
+        Level-ordered extended row set: ``[owned, δ^(d,s), …, δ^(d,1)]``
+        concatenated (global indices; this is i^(d,1) as an ordered array).
+    s
+        Number of powers.
+    """
+
+    owned: np.ndarray
+    deltas: tuple
+    ext_rows: np.ndarray
+    s: int
+
+    @property
+    def n_owned(self) -> int:
+        return int(self.owned.size)
+
+    @property
+    def boundary(self) -> np.ndarray:
+        """All boundary rows δ^(d,1:s) = ext_rows minus the owned prefix."""
+        return self.ext_rows[self.n_owned :]
+
+    def i_size(self, k: int) -> int:
+        """|i^(d,k)| for 1 <= k <= s+1 (rows of v_k needed)."""
+        if not 1 <= k <= self.s + 1:
+            raise ValueError(f"k out of range [1, {self.s + 1}]: {k}")
+        # i^(d,k) = owned + shells δ^(s), …, δ^(k): the first s-k+1 shells.
+        n_shells = self.s - k + 1
+        return self.n_owned + int(sum(d.size for d in self.deltas[:n_shells]))
+
+    def active_rows(self, k: int) -> int:
+        """Rows computed at MPK step ``k`` (a prefix): |i^(d,k+1)|."""
+        if not 1 <= k <= self.s:
+            raise ValueError(f"step k out of range [1, {self.s}]: {k}")
+        return self.i_size(k + 1)
+
+    def delta_range(self, k: int) -> np.ndarray:
+        """δ^(d,k:s) = i^(d,k) \\ i^(d,s+1): boundary shells for steps >= k."""
+        if not 1 <= k <= self.s:
+            raise ValueError(f"k out of range [1, {self.s}]: {k}")
+        end = self.i_size(k)
+        return self.ext_rows[self.n_owned : end]
+
+
+def compute_dependencies(
+    matrix: CsrMatrix, partition: Partition, s: int
+) -> list[MpkDependency]:
+    """Compute every device's MPK dependency structure.
+
+    Uses the *directed* structure of ``A`` (row ``i`` reads column ``j`` iff
+    ``a_ij`` is stored), matching the paper's str(a_i,:) recursion rather
+    than the symmetrized graph.
+    """
+    if matrix.n_rows != matrix.n_cols:
+        raise ValueError("MPK requires a square matrix")
+    if matrix.n_rows != partition.n_rows:
+        raise ValueError("matrix and partition sizes disagree")
+    if s < 1:
+        raise ValueError("s must be >= 1")
+    deps = []
+    n = matrix.n_rows
+    for d in range(partition.n_parts):
+        owned = partition.rows_of(d)
+        in_set = np.zeros(n, dtype=bool)
+        in_set[owned] = True
+        frontier = owned
+        deltas = []
+        for _ in range(s):
+            neighbors = _row_neighbors(matrix, frontier)
+            fresh = neighbors[~in_set[neighbors]]
+            fresh = np.unique(fresh)
+            in_set[fresh] = True
+            deltas.append(fresh)
+            frontier = fresh
+            if fresh.size == 0:
+                # All later shells are empty too; fill them explicitly so
+                # deltas always has s entries.
+                deltas.extend(
+                    np.empty(0, dtype=np.int64) for _ in range(s - len(deltas))
+                )
+                break
+        ext_rows = np.concatenate([owned, *deltas]) if deltas else owned.copy()
+        deps.append(MpkDependency(owned, tuple(deltas), ext_rows, s))
+    return deps
+
+
+def _row_neighbors(matrix: CsrMatrix, rows: np.ndarray) -> np.ndarray:
+    """Column indices appearing in the given rows (with duplicates)."""
+    if rows.size == 0:
+        return np.empty(0, dtype=np.int64)
+    starts = matrix.indptr[rows]
+    counts = matrix.indptr[rows + 1] - starts
+    total = int(counts.sum())
+    if total == 0:
+        return np.empty(0, dtype=np.int64)
+    offsets = np.arange(total) - np.repeat(np.cumsum(counts) - counts, counts)
+    return matrix.indices[np.repeat(starts, counts) + offsets]

@@ -1,0 +1,199 @@
+"""The executable matrix powers kernel on the simulated devices.
+
+Follows the Fig. 4 pseudocode:
+
+* **Setup** — one staged exchange moves every boundary element
+  (δ^(d,1:s)) to each device; the extended vector ``z`` is laid out
+  level-ordered ``[own | δ^(s) | δ^(s-1) | … | δ^(1)]``.
+* **Matrix powers** — step ``k`` computes the rows i^(d,k+1) of
+  ``v_{k+1}``, which by the level ordering are the leading
+  ``active_rows(k)`` rows of the extended local matrix: one prefix-SpMV
+  per step, no communication.  Shift operations (Newton basis) are applied
+  as vectorized updates on the same prefix.
+
+Each device stores the extended local matrix ``A(i^(d,2), :)`` in CSR with
+columns remapped into the extended-vector indexing; the memory overhead
+relative to ``A^(d)`` is exactly the paper's surface-to-volume ratio.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..dist.exchange import StagedExchange
+from ..dist.multivector import DistMultiVector
+from ..gpu import blas
+from ..gpu.context import MultiGpuContext
+from ..gpu.device import DeviceArray
+from ..order.partition import Partition
+from ..sparse.csr import CsrMatrix
+from .dependency import MpkDependency, compute_dependencies
+from .shifts import ShiftOp, monomial_shift_ops
+
+__all__ = ["MatrixPowersKernel"]
+
+
+class MatrixPowersKernel:
+    """MPK(s) over a block-row distributed matrix.
+
+    Parameters
+    ----------
+    ctx
+        Execution context (one local matrix per device).
+    matrix
+        Global CSR matrix (host side; structural setup happens on the CPU
+        before the iteration, as in the paper).
+    partition
+        Row ownership, one part per device.
+    s
+        Number of powers generated per invocation.
+    """
+
+    def __init__(
+        self, ctx: MultiGpuContext, matrix: CsrMatrix, partition: Partition, s: int
+    ):
+        if partition.n_parts != ctx.n_gpus:
+            raise ValueError("partition parts must equal context device count")
+        if s < 1:
+            raise ValueError("s must be >= 1")
+        self.ctx = ctx
+        self.partition = partition
+        self.s = int(s)
+        self.deps: list[MpkDependency] = compute_dependencies(matrix, partition, s)
+        self.exchange = StagedExchange(
+            partition, [dep.boundary for dep in self.deps]
+        )
+        # Per-device extended local matrices and ping-pong buffers.
+        self._local: list[tuple[DeviceArray, DeviceArray, DeviceArray]] = []
+        self._buffers: list[list[DeviceArray]] = []
+        n = matrix.n_rows
+        lookup = np.empty(n, dtype=np.int64)
+        for d, dev in enumerate(ctx.devices):
+            dep = self.deps[d]
+            ext = dep.ext_rows
+            lookup[ext] = np.arange(ext.size)
+            # Rows computed anywhere in the kernel: i^(d,2) (prefix of ext).
+            compute_rows = ext[: dep.i_size(2)]
+            local = matrix.extract_rows(compute_rows)
+            if local.nnz and np.any(lookup[local.indices] >= ext.size):
+                raise AssertionError("MPK dependency closure violated")
+            remapped_indices = lookup[local.indices]
+            self._local.append(
+                (
+                    dev.adopt(local.indptr),
+                    dev.adopt(remapped_indices),
+                    dev.adopt(local.data),
+                )
+            )
+            # Three buffers: current, next, and previous (for complex pairs).
+            self._buffers.append([dev.zeros(max(ext.size, 1)) for _ in range(3)])
+
+    # ------------------------------------------------------------------
+    def run(
+        self,
+        V: DistMultiVector,
+        j_start: int,
+        shift_ops: list[ShiftOp] | None = None,
+    ) -> None:
+        """Generate ``V[:, j_start+1 … j_start+s]`` from ``V[:, j_start]``.
+
+        ``shift_ops`` defaults to the monomial basis; pass
+        :func:`repro.mpk.shifts.newton_shift_ops` output for the Newton
+        basis.  A ``complex_second`` op must directly follow its
+        ``complex_first``.
+        """
+        if shift_ops is None:
+            shift_ops = monomial_shift_ops(self.s)
+        if len(shift_ops) != self.s:
+            raise ValueError(f"expected {self.s} shift ops, got {len(shift_ops)}")
+        _check_pairing(shift_ops)
+        if j_start + self.s >= V.n_cols:
+            raise IndexError("multivector has too few columns for this MPK run")
+
+        x_parts = V.column(j_start)
+        received = self.exchange.exchange(self.ctx, x_parts)
+
+        for d, dev in enumerate(self.ctx.devices):
+            dep = self.deps[d]
+            z_prev, z_cur, z_next = self._buffers[d]
+            n_own = dep.n_owned
+            z_cur.data[:n_own] = x_parts[d].data
+            dev.charge_kernel("copy", "cublas", n=n_own)
+            if received[d].size:
+                z_cur.data[n_own : n_own + received[d].size] = received[d]
+            indptr, indices, data = self._local[d]
+            for k in range(1, self.s + 1):
+                active = dep.active_rows(k)
+                op = shift_ops[k - 1]
+                # The extended local matrix lives in the same padded GPU
+                # layout as the SpMV operator's ELLPACK (level-ordered rows
+                # have near-uniform width), so it is costed at ELLPACK rates.
+                blas.spmv_csr_prefix(
+                    indptr, indices, data, z_cur, z_next, active,
+                    variant="ellpack",
+                )
+                if op.kind in ("real", "complex_first"):
+                    # v_{k+1} -= theta * v_k on the active prefix
+                    dev.charge_kernel("axpy", "cublas", n=active)
+                    z_next.data[:active] -= op.re * z_cur.data[:active]
+                elif op.kind == "complex_second":
+                    dev.charge_kernel("axpy", "cublas", n=active)
+                    z_next.data[:active] -= op.re * z_cur.data[:active]
+                    dev.charge_kernel("axpy", "cublas", n=active)
+                    z_next.data[:active] += (op.im**2) * z_prev.data[:active]
+                # Own rows are the leading n_own entries of the prefix.
+                col = V.column(j_start + k)[d]
+                col.data[:] = z_next.data[:n_own]
+                dev.charge_kernel("copy", "cublas", n=n_own)
+                z_prev, z_cur, z_next = z_cur, z_next, z_prev
+            # Leave the rotated buffers for the next invocation.
+            self._buffers[d] = [z_prev, z_cur, z_next]
+
+    # ------------------------------------------------------------------
+    # Structural accessors used by the analysis/benchmarks
+    # ------------------------------------------------------------------
+    def boundary_sizes(self) -> list[int]:
+        """|δ^(d,1:s)| per device (extra vector elements gathered)."""
+        return [int(dep.boundary.size) for dep in self.deps]
+
+    def device_memory_bytes(self) -> list[int]:
+        """Per-device bytes of the kernel's resident state.
+
+        The extended local matrix (indptr/indices/data) plus the three
+        ping-pong buffers — the memory-for-latency trade of Section IV-A.
+        Compare against ``ctx.machine.gpu.memory_bytes`` when planning runs.
+        """
+        out = []
+        for d in range(len(self.deps)):
+            indptr, indices, data = self._local[d]
+            buffers = sum(buf.nbytes for buf in self._buffers[d])
+            out.append(
+                int(indptr.nbytes + indices.nbytes + data.nbytes + buffers)
+            )
+        return out
+
+    def extra_nnz(self) -> list[int]:
+        """Stored nonzeros of the boundary submatrix A(δ^(d,1:s), :)."""
+        out = []
+        for d, dep in enumerate(self.deps):
+            indptr = self._local[d][0].data
+            own_end = int(indptr[dep.n_owned])
+            total = int(indptr[-1])
+            out.append(total - own_end)
+        return out
+
+
+def _check_pairing(ops: list[ShiftOp]) -> None:
+    """Validate that complex pair ops are properly adjacent."""
+    expect_second = False
+    for op in ops:
+        if expect_second:
+            if op.kind != "complex_second":
+                raise ValueError("complex_first must be followed by complex_second")
+            expect_second = False
+        elif op.kind == "complex_second":
+            raise ValueError("complex_second without preceding complex_first")
+        elif op.kind == "complex_first":
+            expect_second = True
+    if expect_second:
+        raise ValueError("dangling complex_first at end of shift sequence")

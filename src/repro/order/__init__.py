@@ -1,0 +1,40 @@
+"""Matrix reordering and graph partitioning.
+
+The paper distributes ``A`` over GPUs in block-row format after one of three
+orderings (Section IV-B):
+
+* **natural** — rows in original order, split into equal contiguous blocks;
+* **RCM** — reverse Cuthill-McKee bandwidth reduction (their HSL MC60),
+  then equal contiguous blocks;
+* **KWY** — k-way graph partitioning minimizing edge cut with load balance
+  (their METIS), one part per GPU.
+
+This package implements all three from scratch: :func:`rcm` with George-Liu
+pseudo-peripheral starting vertices, :func:`kway_partition` via greedy graph
+growing plus boundary Kernighan-Lin refinement, and
+:func:`recursive_bisection` as the alternative the paper's footnote 3
+mentions testing.
+"""
+
+from .partition import (
+    Partition,
+    block_row_partition,
+    edge_cut,
+    partition_matrix,
+    partition_quality,
+)
+from .rcm import rcm, matrix_bandwidth
+from .kway import kway_partition, recursive_bisection, refine_partition
+
+__all__ = [
+    "Partition",
+    "block_row_partition",
+    "partition_matrix",
+    "edge_cut",
+    "partition_quality",
+    "rcm",
+    "matrix_bandwidth",
+    "kway_partition",
+    "recursive_bisection",
+    "refine_partition",
+]

@@ -1,0 +1,100 @@
+"""Reverse Cuthill-McKee ordering.
+
+RCM reduces matrix bandwidth by BFS-numbering vertices in order of increasing
+degree within each level, then reversing.  Small bandwidth means each block
+row's halo (the paper's boundary set :math:`\\delta^{(d,k)}`) grows only along
+the band, which is why Fig. 6 shows RCM flattening the surface-to-volume
+curve for ``G3_circuit``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..sparse.csr import CsrMatrix
+from ..sparse.graph import adjacency_structure, pseudo_peripheral_node
+
+__all__ = ["rcm", "matrix_bandwidth"]
+
+
+def rcm(matrix: CsrMatrix, start: int | None = None) -> np.ndarray:
+    """Compute the reverse Cuthill-McKee permutation of a square matrix.
+
+    Parameters
+    ----------
+    matrix
+        Square sparse matrix; its symmetrized adjacency structure is used.
+    start
+        Optional BFS root.  By default a George-Liu pseudo-peripheral vertex
+        of each connected component is used.
+
+    Returns
+    -------
+    perm
+        Permutation array: ``perm[k]`` is the original index of the vertex
+        placed at position ``k``.  Apply with ``matrix.permute(perm)``.
+    """
+    graph = adjacency_structure(matrix)
+    n = graph.n_rows
+    degrees = graph.row_nnz()
+    order = np.empty(n, dtype=np.int64)
+    visited = np.zeros(n, dtype=bool)
+    pos = 0
+    component_seed = 0
+    while pos < n:
+        while component_seed < n and visited[component_seed]:
+            component_seed += 1
+        if start is not None and pos == 0:
+            root = int(start)
+            if not 0 <= root < n:
+                raise ValueError(f"start out of range: {start}")
+        else:
+            root = _component_pseudo_peripheral(graph, component_seed, visited)
+        visited[root] = True
+        order[pos] = root
+        pos += 1
+        front_begin = pos - 1
+        # Cuthill-McKee BFS: expand level by level, sorting each new level by
+        # (degree, vertex id) for determinism.
+        while front_begin < pos:
+            front = order[front_begin:pos]
+            front_begin = pos
+            fresh = _neighbors_of(graph, front, visited)
+            if fresh.size:
+                keys = np.lexsort((fresh, degrees[fresh]))
+                fresh = fresh[keys]
+                order[pos : pos + fresh.size] = fresh
+                pos += fresh.size
+    return order[::-1].copy()
+
+
+def _component_pseudo_peripheral(graph: CsrMatrix, seed: int, visited: np.ndarray) -> int:
+    """Pseudo-peripheral vertex of the component containing ``seed``.
+
+    ``visited`` marks vertices already consumed by previous components; the
+    BFS inside :func:`pseudo_peripheral_node` never crosses components, so it
+    can be reused unchanged.
+    """
+    return pseudo_peripheral_node(graph, seed)
+
+
+def _neighbors_of(graph: CsrMatrix, front: np.ndarray, visited: np.ndarray) -> np.ndarray:
+    """Unvisited neighbors of ``front``, marking them visited."""
+    starts = graph.indptr[front]
+    counts = graph.indptr[front + 1] - starts
+    total = int(counts.sum())
+    if total == 0:
+        return np.empty(0, dtype=np.int64)
+    offsets = np.arange(total) - np.repeat(np.cumsum(counts) - counts, counts)
+    neighbors = graph.indices[np.repeat(starts, counts) + offsets]
+    fresh = np.unique(neighbors[~visited[neighbors]])
+    visited[fresh] = True
+    return fresh
+
+
+def matrix_bandwidth(matrix: CsrMatrix) -> int:
+    """Maximum ``|i - j|`` over stored entries (0 for diagonal/empty)."""
+    if matrix.nnz == 0:
+        return 0
+    row_ids = np.repeat(np.arange(matrix.n_rows), np.diff(matrix.indptr))
+    return int(np.abs(row_ids - matrix.indices).max())

@@ -1,0 +1,85 @@
+"""The combined Orth step of CA-GMRES: BOrth + TSQR (+ reorthogonalization).
+
+Given the previously orthonormalized basis ``Q_{1:j}`` and a new MPK panel
+``V`` of ``s+1`` (or fewer) columns, one pass computes
+
+    C = Q^T V;  W = V - Q C;  W = Q_new R    (BOrth then TSQR)
+
+so that ``V = Q C + Q_new R``.  A second pass ("2x" in the paper's tables)
+reorthogonalizes ``Q_new`` the same way; the composed coefficients are
+
+    C_total = C1 + C2 R1,   R_total = R2 R1,
+
+still satisfying ``V = Q C_total + Q_final R_total``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..gpu.context import MultiGpuContext
+from ..gpu.device import DeviceArray
+from .borth import borth
+from .tsqr import tsqr
+
+__all__ = ["BlockOrthResult", "orthogonalize_block"]
+
+
+@dataclass(frozen=True)
+class BlockOrthResult:
+    """Coefficients of one block orthogonalization.
+
+    ``V_original = Q_prev @ C + Q_new @ R`` with R upper triangular.
+    """
+
+    C: np.ndarray  # (j, k) projection coefficients (j may be 0)
+    R: np.ndarray  # (k, k) upper-triangular intra-block factor
+
+
+def orthogonalize_block(
+    ctx: MultiGpuContext,
+    q_panels: list[DeviceArray] | None,
+    v_panels: list[DeviceArray],
+    tsqr_method: str = "cholqr",
+    borth_method: str = "cgs",
+    reorth: int = 1,
+    tsqr_variant: str | None = None,
+) -> BlockOrthResult:
+    """Orthogonalize a new panel against the basis and within itself.
+
+    Parameters
+    ----------
+    q_panels
+        Per-device views of the previous basis ``Q_{1:j}``; ``None`` or
+        zero columns for the first block of a cycle.
+    v_panels
+        Per-device views of the new panel (overwritten with ``Q_new``).
+    tsqr_method, borth_method
+        Kernel choices (see :data:`~repro.orth.tsqr.TSQR_METHODS` and
+        :data:`~repro.orth.borth.BORTH_METHODS`).
+    reorth
+        Total passes (2 = the paper's "2x" rows).  Reorthogonalization
+        repeats *both* BOrth and TSQR.
+
+    Returns
+    -------
+    BlockOrthResult
+    """
+    if reorth < 1:
+        raise ValueError("reorth must be >= 1")
+    k = v_panels[0].data.shape[1]
+    j = q_panels[0].data.shape[1] if q_panels is not None else 0
+    have_prev = j > 0
+    C_total = np.zeros((j, k), dtype=np.float64)
+    R_total = np.eye(k, dtype=np.float64)
+    for _ in range(reorth):
+        if have_prev:
+            C_pass = borth(ctx, q_panels, v_panels, method=borth_method)
+        else:
+            C_pass = np.zeros((0, k), dtype=np.float64)
+        R_pass = tsqr(ctx, v_panels, method=tsqr_method, variant=tsqr_variant)
+        C_total = C_total + (C_pass @ R_total if have_prev else 0.0)
+        R_total = R_pass @ R_total
+    return BlockOrthResult(C=C_total, R=np.triu(R_total))

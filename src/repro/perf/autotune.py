@@ -1,0 +1,83 @@
+"""Kernel-variant autotuning.
+
+The paper repeatedly points at autotuning (footnotes 7 and 8: "we are
+investigating ... the potential of using an auto-tuner to improve the
+performance"): the best implementation of a tall-skinny kernel depends on
+the shape.  :class:`KernelAutotuner` picks, per (op, shape), the fastest
+variant available in the cost table — the model-level equivalent of an
+empirical tuning sweep — and caches the decision.
+
+Used with ``variant="auto"`` kernels become shape-adaptive: e.g. a GEMM on
+a 2-column panel may route to the MAGMA GEMV-style kernel while the
+30-column Gram product routes to the batched implementation.
+"""
+
+from __future__ import annotations
+
+from .kernels import KERNEL_TABLE
+from .machine import MachineSpec, keeneland_node
+
+__all__ = ["KernelAutotuner"]
+
+# Variants that execute on the device (host 'mkl' entries are not eligible).
+_DEVICE_VARIANTS = ("cublas", "magma", "batched", "batched_sp", "ellpack", "csr")
+# batched_sp changes numerics (fp32); exclude from transparent autotuning.
+_TRANSPARENT = tuple(v for v in _DEVICE_VARIANTS if v != "batched_sp")
+
+
+class KernelAutotuner:
+    """Pick the fastest device variant for each kernel shape.
+
+    Parameters
+    ----------
+    machine
+        The machine whose rates drive the decision (default: the paper's
+        Keeneland node).
+    """
+
+    def __init__(self, machine: MachineSpec | None = None):
+        self.machine = machine if machine is not None else keeneland_node()
+        self._cache: dict[tuple, str] = {}
+
+    def candidates(self, op: str) -> list[str]:
+        """Device variants available for ``op`` (numerics-preserving)."""
+        return [
+            variant
+            for (table_op, variant) in KERNEL_TABLE
+            if table_op == op and variant in _TRANSPARENT
+        ]
+
+    def best_variant(self, op: str, **shape) -> str:
+        """The fastest variant of ``op`` at this shape (cached)."""
+        key = (op, tuple(sorted(shape.items())))
+        cached = self._cache.get(key)
+        if cached is not None:
+            return cached
+        gpu = self.machine.gpu
+        options = self.candidates(op)
+        if not options:
+            raise KeyError(f"no device variants for op {op!r}")
+        best = min(
+            options,
+            key=lambda v: KERNEL_TABLE[(op, v)].time(
+                gpu.peak_gflops * 1e9,
+                gpu.mem_bandwidth,
+                gpu.kernel_overhead,
+                **shape,
+            ),
+        )
+        self._cache[key] = best
+        return best
+
+    def tuning_table(self, op: str, shapes: list[dict]) -> list[tuple]:
+        """Decision table for a shape sweep: ``(shape, variant, time)``."""
+        gpu = self.machine.gpu
+        rows = []
+        for shape in shapes:
+            variant = self.best_variant(op, **shape)
+            t = KERNEL_TABLE[(op, variant)].time(
+                gpu.peak_gflops * 1e9, gpu.mem_bandwidth, gpu.kernel_overhead,
+                **shape,
+            )
+            rows.append((dict(shape), variant, t))
+        return rows

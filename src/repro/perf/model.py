@@ -1,0 +1,94 @@
+"""The performance model facade used by the simulated runtime.
+
+:class:`PerformanceModel` binds a :class:`~repro.perf.machine.MachineSpec` to
+the kernel cost table and answers three questions:
+
+* how long does GPU kernel X with shape S take (``gpu_time``),
+* how long does the threaded-host version take (``cpu_time``),
+* how long does moving N bytes across PCIe take (``transfer_time``),
+
+plus small-dense host LAPACK costs (Cholesky/QR/SVD/eig of the s x s Gram
+and Hessenberg matrices), which the paper runs on the CPU.
+"""
+
+from __future__ import annotations
+
+from .kernels import kernel_time
+from .machine import MachineSpec, keeneland_node
+
+__all__ = ["PerformanceModel"]
+
+
+class PerformanceModel:
+    """Cost oracle for one machine.
+
+    Parameters
+    ----------
+    machine
+        Machine description; defaults to the paper's Keeneland node.
+    """
+
+    def __init__(self, machine: MachineSpec | None = None):
+        self.machine = machine if machine is not None else keeneland_node()
+
+    # ------------------------------------------------------------------
+    # Device kernels
+    # ------------------------------------------------------------------
+    def gpu_time(self, op: str, variant: str, **shape) -> float:
+        """Modeled time of one GPU kernel (seconds)."""
+        gpu = self.machine.gpu
+        return kernel_time(
+            op,
+            variant,
+            peak_flops=gpu.peak_gflops * 1e9,
+            bandwidth=gpu.mem_bandwidth,
+            overhead=gpu.kernel_overhead,
+            **shape,
+        )
+
+    def cpu_time(self, op: str, variant: str = "mkl", **shape) -> float:
+        """Modeled time of one threaded host kernel (seconds)."""
+        cpu = self.machine.cpu
+        return kernel_time(
+            op,
+            variant,
+            peak_flops=cpu.peak_gflops * 1e9,
+            bandwidth=cpu.mem_bandwidth,
+            overhead=cpu.small_op_overhead,
+            **shape,
+        )
+
+    # ------------------------------------------------------------------
+    # Host small-dense LAPACK (s x s / (m+1) x m problems)
+    # ------------------------------------------------------------------
+    def host_small_dense(self, op: str, k: int) -> float:
+        """Cost of a small k x k dense factorization on the host.
+
+        Small problems are latency-dominated; the flop term uses a modest
+        sequential rate (~8 Gflop/s) because threaded LAPACK does not scale
+        at these sizes.
+        """
+        flops = {
+            "chol": k**3 / 3.0,
+            "qr": 4.0 * k**3 / 3.0,
+            "svd": 20.0 * k**3,
+            "eig": 25.0 * k**3,
+            "lstsq_hessenberg": 3.0 * k**2,  # Givens on an upper Hessenberg
+            "trsv": k**2,
+        }.get(op)
+        if flops is None:
+            raise KeyError(f"unknown host small-dense op {op!r}")
+        return self.machine.cpu.small_op_overhead + flops / 8.0e9
+
+    # ------------------------------------------------------------------
+    # PCIe
+    # ------------------------------------------------------------------
+    def transfer_time(self, nbytes: float) -> float:
+        """Latency + bandwidth cost of one host<->device message."""
+        if nbytes < 0:
+            raise ValueError("nbytes must be non-negative")
+        pcie = self.machine.pcie
+        return pcie.latency + nbytes / pcie.bandwidth
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"PerformanceModel({self.machine.name!r})"

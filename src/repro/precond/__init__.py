@@ -1,0 +1,27 @@
+"""Right preconditioning compatible with the matrix powers kernel.
+
+The paper's related-work section points at MPK *with or without
+preconditioning* (Hoemmen [4, Ch. 2]); the difficulty is that a
+preconditioner applied per iteration reintroduces exactly the communication
+MPK removes.  The CA-compatible route implemented here **folds** the
+preconditioner into the operator once, up front:
+
+    A x = b   ->   (A M^{-1}) y = b,   x = M^{-1} y,
+
+with ``A M^{-1}`` materialized as an explicit sparse matrix, so MPK, BOrth,
+and TSQR run unchanged on the folded operator.
+
+* :class:`JacobiPreconditioner` — ``M = diag(A)``: folding is an exact
+  column scaling (no fill).
+* :class:`BlockJacobiPreconditioner` — ``M`` = the block diagonal of ``A``
+  with small dense blocks: folding densifies each row only within the
+  blocks it already touches (bounded fill).
+
+Both drivers accept a ``preconditioner=`` argument and recover the original
+variables automatically.
+"""
+
+from .jacobi import JacobiPreconditioner
+from .block_jacobi import BlockJacobiPreconditioner
+
+__all__ = ["JacobiPreconditioner", "BlockJacobiPreconditioner"]

@@ -1,0 +1,46 @@
+"""Sparse-matrix substrate.
+
+The paper stores matrices in CSR on the CPU and ELLPACK on the GPUs
+(Fig. 3 caption).  This package implements both formats from scratch on top
+of NumPy arrays, plus a COO builder, Matrix Market I/O, and adjacency-graph
+utilities used by the reordering/partitioning and matrix-powers layers.
+
+Public classes
+--------------
+:class:`CooMatrix`
+    Triplet builder; duplicate entries are summed on conversion.
+:class:`CsrMatrix`
+    Compressed sparse row; the workhorse format (row slicing, SpMV,
+    transpose, permutation, scaling).
+:class:`EllpackMatrix`
+    ELLPACK/ITPACK layout with padded rows; the GPU SpMV format.
+"""
+
+from .coo import CooMatrix
+from .csr import CsrMatrix, csr_from_dense, eye_csr
+from .ellpack import EllpackMatrix
+from .jds import JdsMatrix
+from .graph import (
+    adjacency_structure,
+    bfs_levels,
+    connected_components,
+    pseudo_peripheral_node,
+    symmetrize_structure,
+)
+from .io import read_matrix_market, write_matrix_market
+
+__all__ = [
+    "CooMatrix",
+    "CsrMatrix",
+    "EllpackMatrix",
+    "JdsMatrix",
+    "csr_from_dense",
+    "eye_csr",
+    "adjacency_structure",
+    "symmetrize_structure",
+    "bfs_levels",
+    "pseudo_peripheral_node",
+    "connected_components",
+    "read_matrix_market",
+    "write_matrix_market",
+]

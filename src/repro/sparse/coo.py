@@ -1,0 +1,127 @@
+"""COO (triplet) sparse matrix builder.
+
+COO is the natural assembly format: generators append ``(i, j, value)``
+triplets and convert to CSR once at the end.  Duplicate entries are summed
+during conversion, matching the usual finite-element assembly semantics.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .._validation import as_float64_array, as_index_array
+
+__all__ = ["CooMatrix"]
+
+
+class CooMatrix:
+    """Sparse matrix in coordinate (triplet) format.
+
+    Parameters
+    ----------
+    shape
+        ``(n_rows, n_cols)``.
+    rows, cols, data
+        Parallel arrays of triplets.  May be empty.  Duplicates are allowed
+        and are summed when converting to CSR.
+    """
+
+    def __init__(self, shape, rows=(), cols=(), data=()):
+        n_rows, n_cols = int(shape[0]), int(shape[1])
+        if n_rows < 0 or n_cols < 0:
+            raise ValueError(f"shape must be non-negative, got {shape}")
+        self.shape = (n_rows, n_cols)
+        self.rows = as_index_array(rows, "rows")
+        self.cols = as_index_array(cols, "cols")
+        self.data = as_float64_array(data, "data")
+        if not (self.rows.shape == self.cols.shape == self.data.shape):
+            raise ValueError(
+                "rows, cols, data must have equal lengths, got "
+                f"{self.rows.size}, {self.cols.size}, {self.data.size}"
+            )
+        if self.rows.size:
+            if self.rows.max() >= n_rows:
+                raise ValueError("row index out of range")
+            if self.cols.max() >= n_cols:
+                raise ValueError("column index out of range")
+
+    @property
+    def nnz(self) -> int:
+        """Number of stored triplets (before duplicate summation)."""
+        return int(self.data.size)
+
+    def to_csr(self):
+        """Convert to :class:`~repro.sparse.CsrMatrix`, summing duplicates."""
+        from .csr import CsrMatrix
+
+        n_rows, n_cols = self.shape
+        if self.nnz == 0:
+            indptr = np.zeros(n_rows + 1, dtype=np.int64)
+            return CsrMatrix(
+                self.shape,
+                indptr,
+                np.empty(0, dtype=np.int64),
+                np.empty(0, dtype=np.float64),
+            )
+        # Sort lexicographically by (row, col) and sum runs of duplicates.
+        order = np.lexsort((self.cols, self.rows))
+        r = self.rows[order]
+        c = self.cols[order]
+        v = self.data[order]
+        new_run = np.empty(r.size, dtype=bool)
+        new_run[0] = True
+        np.logical_or(r[1:] != r[:-1], c[1:] != c[:-1], out=new_run[1:])
+        run_id = np.cumsum(new_run) - 1
+        n_unique = run_id[-1] + 1
+        values = np.zeros(n_unique, dtype=np.float64)
+        np.add.at(values, run_id, v)
+        rows_u = r[new_run]
+        cols_u = c[new_run]
+        indptr = np.zeros(n_rows + 1, dtype=np.int64)
+        np.add.at(indptr, rows_u + 1, 1)
+        np.cumsum(indptr, out=indptr)
+        return CsrMatrix(self.shape, indptr, cols_u, values)
+
+    def to_dense(self) -> np.ndarray:
+        """Return a dense array, summing duplicate triplets."""
+        out = np.zeros(self.shape, dtype=np.float64)
+        np.add.at(out, (self.rows, self.cols), self.data)
+        return out
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"CooMatrix(shape={self.shape}, nnz={self.nnz})"
+
+
+class CooBuilder:
+    """Incremental triplet accumulator.
+
+    Appending single triplets to NumPy arrays is quadratic; this builder
+    accumulates Python lists of array *chunks* and concatenates once.
+    """
+
+    def __init__(self, shape):
+        self.shape = (int(shape[0]), int(shape[1]))
+        self._rows: list = []
+        self._cols: list = []
+        self._data: list = []
+
+    def add(self, rows, cols, data) -> None:
+        """Append a chunk of triplets (arrays or scalars)."""
+        rows = np.atleast_1d(np.asarray(rows, dtype=np.int64))
+        cols = np.atleast_1d(np.asarray(cols, dtype=np.int64))
+        data = np.atleast_1d(np.asarray(data, dtype=np.float64))
+        rows, cols, data = np.broadcast_arrays(rows, cols, data)
+        self._rows.append(rows.ravel())
+        self._cols.append(cols.ravel())
+        self._data.append(data.ravel())
+
+    def build(self) -> CooMatrix:
+        """Materialize the accumulated triplets as a :class:`CooMatrix`."""
+        if not self._rows:
+            return CooMatrix(self.shape)
+        return CooMatrix(
+            self.shape,
+            np.concatenate(self._rows),
+            np.concatenate(self._cols),
+            np.concatenate(self._data),
+        )

@@ -1,0 +1,328 @@
+"""Compressed sparse row (CSR) matrix.
+
+CSR is the CPU-side format of the paper (Fig. 3 caption) and the format every
+structural operation in this library works on: row extraction for the matrix
+powers kernel, symmetric permutation for reordering, row/column scaling for
+matrix balancing, and the reference SpMV.
+
+All kernels are vectorized NumPy; the only Python-level loops are over rows in
+operations that are inherently sequential (none in the hot paths).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .._validation import as_float64_array, as_index_array
+
+__all__ = ["CsrMatrix", "csr_from_dense", "eye_csr"]
+
+
+class CsrMatrix:
+    """Sparse matrix in compressed sparse row format.
+
+    Parameters
+    ----------
+    shape
+        ``(n_rows, n_cols)``.
+    indptr
+        Row pointer array of length ``n_rows + 1``; row ``i`` occupies
+        ``indices[indptr[i]:indptr[i+1]]``.
+    indices
+        Column indices, not required to be sorted within a row unless
+        stated by the producing routine (``CooMatrix.to_csr`` sorts them).
+    data
+        Nonzero values, parallel to ``indices``.
+    """
+
+    def __init__(self, shape, indptr, indices, data):
+        n_rows, n_cols = int(shape[0]), int(shape[1])
+        self.shape = (n_rows, n_cols)
+        self.indptr = as_index_array(indptr, "indptr")
+        self.indices = as_index_array(indices, "indices")
+        self.data = as_float64_array(data, "data")
+        if self.indptr.shape != (n_rows + 1,):
+            raise ValueError(
+                f"indptr must have length n_rows+1={n_rows + 1}, got {self.indptr.size}"
+            )
+        if self.indptr[0] != 0 or self.indptr[-1] != self.indices.size:
+            raise ValueError("indptr must start at 0 and end at nnz")
+        if np.any(np.diff(self.indptr) < 0):
+            raise ValueError("indptr must be non-decreasing")
+        if self.indices.shape != self.data.shape:
+            raise ValueError("indices and data must have equal length")
+        if self.indices.size and self.indices.max() >= n_cols:
+            raise ValueError("column index out of range")
+
+    # ------------------------------------------------------------------
+    # Basic properties
+    # ------------------------------------------------------------------
+    @property
+    def nnz(self) -> int:
+        """Number of stored entries."""
+        return int(self.indices.size)
+
+    @property
+    def n_rows(self) -> int:
+        return self.shape[0]
+
+    @property
+    def n_cols(self) -> int:
+        return self.shape[1]
+
+    def row_nnz(self) -> np.ndarray:
+        """Number of stored entries in each row (length ``n_rows``)."""
+        return np.diff(self.indptr)
+
+    def copy(self) -> "CsrMatrix":
+        """Deep copy."""
+        return CsrMatrix(
+            self.shape, self.indptr.copy(), self.indices.copy(), self.data.copy()
+        )
+
+    # ------------------------------------------------------------------
+    # Numerical kernels
+    # ------------------------------------------------------------------
+    def matvec(self, x: np.ndarray, out: np.ndarray | None = None) -> np.ndarray:
+        """Sparse matrix-vector product ``y = A @ x``.
+
+        Implemented with a segmented sum (``np.add.reduceat``) so the whole
+        product is a handful of vectorized operations.
+        """
+        x = np.asarray(x, dtype=np.float64)
+        if x.shape[0] != self.n_cols:
+            raise ValueError(
+                f"dimension mismatch: matrix has {self.n_cols} columns, x has {x.shape[0]}"
+            )
+        if out is None:
+            out = np.zeros(self.n_rows, dtype=np.float64)
+        else:
+            out[:] = 0.0
+        if self.nnz == 0:
+            return out
+        products = self.data * x[self.indices]
+        # reduceat needs segment starts strictly inside the array; empty rows
+        # are handled by masking them out afterwards.
+        starts = self.indptr[:-1]
+        nonempty = np.flatnonzero(np.diff(self.indptr) > 0)
+        if nonempty.size:
+            sums = np.add.reduceat(products, starts[nonempty])
+            out[nonempty] = sums
+        return out
+
+    def matvec_rows(self, x: np.ndarray, n_active_rows: int, out: np.ndarray) -> np.ndarray:
+        """SpMV restricted to the leading ``n_active_rows`` rows.
+
+        Used by the matrix powers kernel, whose per-step working set is a
+        prefix of the level-ordered extended local matrix.  ``out`` must have
+        length >= ``n_active_rows``; only that prefix is written.
+        """
+        if n_active_rows < 0 or n_active_rows > self.n_rows:
+            raise ValueError(f"n_active_rows out of range: {n_active_rows}")
+        end = self.indptr[n_active_rows]
+        products = self.data[:end] * x[self.indices[:end]]
+        out[:n_active_rows] = 0.0
+        diffs = np.diff(self.indptr[: n_active_rows + 1])
+        nonempty = np.flatnonzero(diffs > 0)
+        if nonempty.size:
+            sums = np.add.reduceat(products, self.indptr[:-1][nonempty])
+            out[nonempty] = sums
+        return out
+
+    def rmatvec(self, y: np.ndarray) -> np.ndarray:
+        """Transpose product ``x = A.T @ y`` (scatter-add formulation)."""
+        y = np.asarray(y, dtype=np.float64)
+        if y.shape[0] != self.n_rows:
+            raise ValueError("dimension mismatch in rmatvec")
+        out = np.zeros(self.n_cols, dtype=np.float64)
+        if self.nnz == 0:
+            return out
+        row_ids = np.repeat(np.arange(self.n_rows), np.diff(self.indptr))
+        np.add.at(out, self.indices, self.data * y[row_ids])
+        return out
+
+    def to_dense(self) -> np.ndarray:
+        """Return the dense equivalent."""
+        out = np.zeros(self.shape, dtype=np.float64)
+        row_ids = np.repeat(np.arange(self.n_rows), np.diff(self.indptr))
+        out[row_ids, self.indices] = self.data
+        return out
+
+    def diagonal(self) -> np.ndarray:
+        """Extract the main diagonal (zeros where absent)."""
+        n = min(self.shape)
+        diag = np.zeros(n, dtype=np.float64)
+        row_ids = np.repeat(np.arange(self.n_rows), np.diff(self.indptr))
+        mask = row_ids == self.indices
+        diag_rows = row_ids[mask]
+        keep = diag_rows < n
+        diag[diag_rows[keep]] = self.data[mask][keep]
+        return diag
+
+    # ------------------------------------------------------------------
+    # Structural operations
+    # ------------------------------------------------------------------
+    def extract_rows(self, row_ids) -> "CsrMatrix":
+        """Return the submatrix ``A(rows, :)`` in the given row order.
+
+        This is the paper's :math:`A(\\mathbf{i}, :)` operation used to build
+        local and boundary submatrices for MPK.
+        """
+        row_ids = as_index_array(row_ids, "row_ids")
+        if row_ids.size and row_ids.max() >= self.n_rows:
+            raise ValueError("row index out of range")
+        counts = np.diff(self.indptr)[row_ids]
+        new_indptr = np.zeros(row_ids.size + 1, dtype=np.int64)
+        np.cumsum(counts, out=new_indptr[1:])
+        total = int(new_indptr[-1])
+        new_indices = np.empty(total, dtype=np.int64)
+        new_data = np.empty(total, dtype=np.float64)
+        # Gather each selected row's slice.  Build a single index vector:
+        # for row r with slice [a, b), we need positions a..b-1.
+        starts = self.indptr[row_ids]
+        if total:
+            offsets = np.arange(total) - np.repeat(new_indptr[:-1], counts)
+            src = np.repeat(starts, counts) + offsets
+            new_indices[:] = self.indices[src]
+            new_data[:] = self.data[src]
+        return CsrMatrix((row_ids.size, self.n_cols), new_indptr, new_indices, new_data)
+
+    def transpose(self) -> "CsrMatrix":
+        """Return ``A.T`` as a new CSR matrix (column indices sorted)."""
+        n_rows, n_cols = self.shape
+        indptr = np.zeros(n_cols + 1, dtype=np.int64)
+        np.add.at(indptr, self.indices + 1, 1)
+        np.cumsum(indptr, out=indptr)
+        row_ids = np.repeat(np.arange(n_rows), np.diff(self.indptr))
+        order = np.argsort(self.indices, kind="stable")
+        return CsrMatrix(
+            (n_cols, n_rows), indptr, row_ids[order], self.data[order]
+        )
+
+    def permute(self, perm) -> "CsrMatrix":
+        """Symmetric permutation ``A(perm, perm)`` for a square matrix.
+
+        ``perm[k]`` is the original index of the row/column placed at
+        position ``k`` (i.e. "new order lists old ids"), matching the output
+        convention of :func:`repro.order.rcm`.
+        """
+        perm = as_index_array(perm, "perm")
+        if self.n_rows != self.n_cols:
+            raise ValueError("permute requires a square matrix")
+        if perm.size != self.n_rows:
+            raise ValueError("perm has wrong length")
+        inv = np.empty_like(perm)
+        inv[perm] = np.arange(perm.size)
+        rows_perm = self.extract_rows(perm)
+        new_indices = inv[rows_perm.indices]
+        # Keep column indices sorted within each row for determinism.
+        result = CsrMatrix(self.shape, rows_perm.indptr, new_indices, rows_perm.data)
+        return result.sort_indices()
+
+    def sort_indices(self) -> "CsrMatrix":
+        """Return a copy with column indices sorted within each row."""
+        row_ids = np.repeat(np.arange(self.n_rows), np.diff(self.indptr))
+        order = np.lexsort((self.indices, row_ids))
+        return CsrMatrix(
+            self.shape, self.indptr.copy(), self.indices[order], self.data[order]
+        )
+
+    def scale_rows(self, scale: np.ndarray) -> "CsrMatrix":
+        """Return ``diag(scale) @ A``."""
+        scale = as_float64_array(scale, "scale")
+        if scale.shape != (self.n_rows,):
+            raise ValueError("scale has wrong length")
+        row_ids = np.repeat(np.arange(self.n_rows), np.diff(self.indptr))
+        return CsrMatrix(
+            self.shape, self.indptr.copy(), self.indices.copy(), self.data * scale[row_ids]
+        )
+
+    def scale_cols(self, scale: np.ndarray) -> "CsrMatrix":
+        """Return ``A @ diag(scale)``."""
+        scale = as_float64_array(scale, "scale")
+        if scale.shape != (self.n_cols,):
+            raise ValueError("scale has wrong length")
+        return CsrMatrix(
+            self.shape, self.indptr.copy(), self.indices.copy(), self.data * scale[self.indices]
+        )
+
+    def row_norms(self, ord: float = 2.0) -> np.ndarray:
+        """Per-row vector norms of the stored values."""
+        out = np.zeros(self.n_rows, dtype=np.float64)
+        nonempty = np.flatnonzero(np.diff(self.indptr) > 0)
+        if not nonempty.size:
+            return out
+        if ord == 2.0:
+            sums = np.add.reduceat(self.data**2, self.indptr[:-1][nonempty])
+            out[nonempty] = np.sqrt(sums)
+        elif ord == 1.0:
+            out[nonempty] = np.add.reduceat(np.abs(self.data), self.indptr[:-1][nonempty])
+        elif ord == np.inf:
+            out[nonempty] = np.maximum.reduceat(np.abs(self.data), self.indptr[:-1][nonempty])
+        else:
+            raise ValueError(f"unsupported norm order {ord!r}")
+        return out
+
+    def col_norms(self, ord: float = 2.0) -> np.ndarray:
+        """Per-column vector norms of the stored values."""
+        out = np.zeros(self.n_cols, dtype=np.float64)
+        if self.nnz == 0:
+            return out
+        if ord == 2.0:
+            np.add.at(out, self.indices, self.data**2)
+            np.sqrt(out, out=out)
+        elif ord == 1.0:
+            np.add.at(out, self.indices, np.abs(self.data))
+        elif ord == np.inf:
+            np.maximum.at(out, self.indices, np.abs(self.data))
+        else:
+            raise ValueError(f"unsupported norm order {ord!r}")
+        return out
+
+    def add_scaled_identity(self, alpha: float) -> "CsrMatrix":
+        """Return ``A + alpha * I`` for a square matrix.
+
+        Implemented through COO so that rows lacking a stored diagonal gain
+        one; used by shifted generators and the Newton-basis tests.
+        """
+        from .coo import CooMatrix
+
+        if self.n_rows != self.n_cols:
+            raise ValueError("add_scaled_identity requires a square matrix")
+        n = self.n_rows
+        row_ids = np.repeat(np.arange(n), np.diff(self.indptr))
+        rows = np.concatenate([row_ids, np.arange(n)])
+        cols = np.concatenate([self.indices, np.arange(n)])
+        data = np.concatenate([self.data, np.full(n, float(alpha))])
+        return CooMatrix(self.shape, rows, cols, data).to_csr()
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"CsrMatrix(shape={self.shape}, nnz={self.nnz})"
+
+
+def csr_from_dense(dense: np.ndarray, tol: float = 0.0) -> CsrMatrix:
+    """Build a :class:`CsrMatrix` from a dense array.
+
+    Entries with ``abs(value) <= tol`` are dropped.
+    """
+    dense = np.asarray(dense, dtype=np.float64)
+    if dense.ndim != 2:
+        raise ValueError("dense must be 2-D")
+    mask = np.abs(dense) > tol
+    rows, cols = np.nonzero(mask)
+    indptr = np.zeros(dense.shape[0] + 1, dtype=np.int64)
+    np.add.at(indptr, rows + 1, 1)
+    np.cumsum(indptr, out=indptr)
+    return CsrMatrix(dense.shape, indptr, cols.astype(np.int64), dense[mask])
+
+
+def eye_csr(n: int, value: float = 1.0) -> CsrMatrix:
+    """Return ``value * I`` of order ``n`` in CSR format."""
+    if n < 0:
+        raise ValueError("n must be non-negative")
+    return CsrMatrix(
+        (n, n),
+        np.arange(n + 1, dtype=np.int64),
+        np.arange(n, dtype=np.int64),
+        np.full(n, float(value)),
+    )

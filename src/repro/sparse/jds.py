@@ -1,0 +1,139 @@
+"""JDS (jagged diagonal storage) sparse format.
+
+ELLPACK pads every row to the longest row, which wastes memory and
+bandwidth when row lengths are skewed (e.g. the circuit matrices' hub
+nodes).  JDS fixes this: rows are sorted by decreasing length and the
+k-th nonzeros of all rows that have one are stored contiguously (a
+"jagged diagonal"), so the GPU streams fully dense arrays with zero
+padding at the cost of a row permutation.
+
+This is the standard alternative GPU SpMV format from the same era as the
+paper; :class:`JdsMatrix` lets the benchmarks quantify ELLPACK's padding
+overhead against it.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .csr import CsrMatrix
+
+__all__ = ["JdsMatrix"]
+
+
+class JdsMatrix:
+    """Sparse matrix in jagged-diagonal storage.
+
+    Attributes
+    ----------
+    perm
+        Row permutation: ``perm[i]`` is the original index of the i-th
+        (longest-first) stored row.
+    jd_ptr
+        Start offset of each jagged diagonal in ``values``/``col_idx``
+        (length ``n_diags + 1``).
+    values, col_idx
+        The jagged diagonals, concatenated; diagonal ``d`` holds the d-th
+        nonzero of every row with at least ``d + 1`` entries, in permuted
+        row order.
+    """
+
+    def __init__(self, shape, perm, jd_ptr, values, col_idx):
+        n_rows, n_cols = int(shape[0]), int(shape[1])
+        self.shape = (n_rows, n_cols)
+        self.perm = np.ascontiguousarray(perm, dtype=np.int64)
+        self.jd_ptr = np.ascontiguousarray(jd_ptr, dtype=np.int64)
+        self.values = np.ascontiguousarray(values, dtype=np.float64)
+        self.col_idx = np.ascontiguousarray(col_idx, dtype=np.int64)
+        if self.perm.shape != (n_rows,):
+            raise ValueError("perm must have one entry per row")
+        if np.any(np.sort(self.perm) != np.arange(n_rows)):
+            raise ValueError("perm must be a permutation of the rows")
+        if self.jd_ptr.size == 0 or self.jd_ptr[0] != 0:
+            raise ValueError("jd_ptr must start at 0")
+        if self.jd_ptr[-1] != self.values.size:
+            raise ValueError("jd_ptr must end at nnz")
+        if np.any(np.diff(self.jd_ptr) < 0):
+            raise ValueError("jd_ptr must be non-decreasing")
+        if self.values.shape != self.col_idx.shape:
+            raise ValueError("values and col_idx must have equal length")
+        if self.col_idx.size and (
+            self.col_idx.min() < 0 or self.col_idx.max() >= max(n_cols, 1)
+        ):
+            raise ValueError("column index out of range")
+
+    @property
+    def nnz(self) -> int:
+        return int(self.values.size)
+
+    @property
+    def n_diags(self) -> int:
+        """Number of jagged diagonals (the maximum row length)."""
+        return int(self.jd_ptr.size - 1)
+
+    @classmethod
+    def from_csr(cls, csr: CsrMatrix) -> "JdsMatrix":
+        """Convert from CSR (rows sorted by decreasing length, stable)."""
+        n_rows, _ = csr.shape
+        lengths = np.diff(csr.indptr)
+        perm = np.argsort(-lengths, kind="stable").astype(np.int64)
+        sorted_lengths = lengths[perm]
+        max_len = int(sorted_lengths.max()) if n_rows else 0
+        # diag_counts[d] = number of rows with length > d
+        diag_counts = np.array(
+            [int((sorted_lengths > d).sum()) for d in range(max_len)],
+            dtype=np.int64,
+        )
+        jd_ptr = np.zeros(max_len + 1, dtype=np.int64)
+        np.cumsum(diag_counts, out=jd_ptr[1:])
+        values = np.empty(csr.nnz, dtype=np.float64)
+        col_idx = np.empty(csr.nnz, dtype=np.int64)
+        for d in range(max_len):
+            rows = perm[: diag_counts[d]]
+            src = csr.indptr[rows] + d
+            sl = slice(jd_ptr[d], jd_ptr[d + 1])
+            values[sl] = csr.data[src]
+            col_idx[sl] = csr.indices[src]
+        return cls(csr.shape, perm, jd_ptr, values, col_idx)
+
+    def to_csr(self) -> CsrMatrix:
+        """Convert back to CSR (row-sorted column indices)."""
+        from .coo import CooMatrix
+
+        n_rows, n_cols = self.shape
+        rows = np.empty(self.nnz, dtype=np.int64)
+        for d in range(self.n_diags):
+            sl = slice(self.jd_ptr[d], self.jd_ptr[d + 1])
+            count = self.jd_ptr[d + 1] - self.jd_ptr[d]
+            rows[sl] = self.perm[:count]
+        return CooMatrix(self.shape, rows, self.col_idx, self.values).to_csr()
+
+    def matvec(self, x: np.ndarray, out: np.ndarray | None = None) -> np.ndarray:
+        """SpMV one jagged diagonal at a time (fully dense streams)."""
+        x = np.asarray(x, dtype=np.float64)
+        if x.shape[0] != self.shape[1]:
+            raise ValueError(
+                f"dimension mismatch: matrix has {self.shape[1]} columns, "
+                f"x has {x.shape[0]}"
+            )
+        permuted = np.zeros(self.shape[0], dtype=np.float64)
+        for d in range(self.n_diags):
+            sl = slice(self.jd_ptr[d], self.jd_ptr[d + 1])
+            count = self.jd_ptr[d + 1] - self.jd_ptr[d]
+            permuted[:count] += self.values[sl] * x[self.col_idx[sl]]
+        if out is None:
+            out = np.zeros(self.shape[0], dtype=np.float64)
+        else:
+            out[:] = 0.0
+        out[self.perm] = permuted
+        return out
+
+    def padding_ratio(self) -> float:
+        """Always 1.0 — JDS stores no padding (ELLPACK's selling point)."""
+        return 1.0
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"JdsMatrix(shape={self.shape}, nnz={self.nnz}, "
+            f"n_diags={self.n_diags})"
+        )

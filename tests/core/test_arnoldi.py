@@ -1,0 +1,81 @@
+"""Tests for the host-side Arnoldi process."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.arnoldi import host_arnoldi, host_ritz_values
+from repro.matrices import poisson2d
+from repro.sparse.csr import csr_from_dense, eye_csr
+
+
+class TestHostArnoldi:
+    def test_arnoldi_relation(self, rng):
+        A = poisson2d(8)
+        Q, H = host_arnoldi(A, 10, seed=1)
+        k = H.shape[1]
+        AQ = np.column_stack([A.matvec(Q[:, j]) for j in range(k)])
+        np.testing.assert_allclose(AQ, Q @ H, atol=1e-10)
+
+    def test_q_orthonormal(self):
+        A = poisson2d(8)
+        Q, H = host_arnoldi(A, 12, seed=2)
+        np.testing.assert_allclose(
+            Q.T @ Q, np.eye(Q.shape[1]), atol=1e-10
+        )
+
+    def test_h_upper_hessenberg(self):
+        A = poisson2d(6)
+        _, H = host_arnoldi(A, 8)
+        k = H.shape[1]
+        for j in range(k):
+            np.testing.assert_allclose(H[j + 2 :, j], 0.0, atol=0)
+
+    def test_invariant_subspace_early_exit(self):
+        A = eye_csr(6, 3.0)
+        Q, H = host_arnoldi(A, 5, seed=0)
+        # A = 3I: the Krylov space is 1-dimensional.
+        assert H.shape == (1, 1)
+        assert H[0, 0] == pytest.approx(3.0)
+
+    def test_custom_start_vector(self):
+        A = poisson2d(5)
+        v0 = np.ones(A.n_rows)
+        Q, _ = host_arnoldi(A, 4, v0=v0)
+        np.testing.assert_allclose(
+            Q[:, 0], v0 / np.linalg.norm(v0), atol=1e-14
+        )
+
+    def test_validation(self):
+        A = poisson2d(4)
+        with pytest.raises(ValueError, match="square"):
+            host_arnoldi(csr_from_dense(np.ones((2, 3))), 2)
+        with pytest.raises(ValueError, match="m must be"):
+            host_arnoldi(A, 0)
+        with pytest.raises(ValueError, match="shape"):
+            host_arnoldi(A, 3, v0=np.ones(5))
+        with pytest.raises(ValueError, match="zero"):
+            host_arnoldi(A, 3, v0=np.zeros(16))
+
+    def test_ritz_values_symmetric_within_field(self):
+        """Ritz values of an SPD matrix lie inside its spectrum."""
+        A = poisson2d(8)
+        ritz = host_ritz_values(A, 15)
+        eigs = np.linalg.eigvalsh(A.to_dense())
+        assert np.all(np.abs(ritz.imag) < 1e-8)
+        assert ritz.real.min() >= eigs.min() - 1e-8
+        assert ritz.real.max() <= eigs.max() + 1e-8
+
+
+@settings(max_examples=25, deadline=None)
+@given(st.integers(3, 12), st.integers(0, 2**31 - 1))
+def test_arnoldi_property_relation_and_orthogonality(n, seed):
+    rng = np.random.default_rng(seed)
+    dense = rng.standard_normal((n, n)) + n * np.eye(n)
+    A = csr_from_dense(dense)
+    m = min(n - 1, 6)
+    Q, H = host_arnoldi(A, m, seed=seed)
+    k = H.shape[1]
+    np.testing.assert_allclose(Q.T @ Q, np.eye(Q.shape[1]), atol=1e-8)
+    AQ = dense @ Q[:, :k]
+    np.testing.assert_allclose(AQ, Q @ H, atol=1e-7 * max(1, np.abs(dense).max()))

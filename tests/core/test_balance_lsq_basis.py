@@ -1,0 +1,193 @@
+"""Tests for balancing, the Givens least-squares solver, and basis helpers."""
+
+import numpy as np
+import pytest
+
+from repro.core.balance import balance_matrix
+from repro.core.basis import build_change_of_basis, ritz_values
+from repro.core.lsq import GivensHessenbergSolver, hessenberg_lstsq
+from repro.matrices import poisson2d
+from repro.mpk.shifts import ShiftOp
+from repro.sparse.csr import csr_from_dense
+
+
+class TestBalance:
+    def test_row_norms_unit_after_row_scaling(self):
+        rng = np.random.default_rng(0)
+        dense = rng.standard_normal((8, 8)) * np.geomspace(1, 1e6, 8)[:, None]
+        bal = balance_matrix(csr_from_dense(dense))
+        # After both scalings, column norms are exactly 1.
+        np.testing.assert_allclose(bal.matrix.col_norms(), np.ones(8), atol=1e-12)
+
+    def test_solution_mapping(self):
+        rng = np.random.default_rng(1)
+        dense = rng.standard_normal((6, 6)) + 6 * np.eye(6)
+        A = csr_from_dense(dense)
+        bal = balance_matrix(A)
+        x_true = rng.standard_normal(6)
+        b = dense @ x_true
+        # Solve the balanced system directly and map back.
+        y = np.linalg.solve(bal.matrix.to_dense(), bal.scale_rhs(b))
+        np.testing.assert_allclose(bal.unscale_solution(y), x_true, atol=1e-10)
+
+    def test_improves_conditioning_of_badly_scaled_matrix(self):
+        rng = np.random.default_rng(2)
+        base = rng.standard_normal((10, 10)) + 10 * np.eye(10)
+        scales = np.geomspace(1, 1e8, 10)
+        dense = scales[:, None] * base
+        A = csr_from_dense(dense)
+        bal = balance_matrix(A)
+        assert np.linalg.cond(bal.matrix.to_dense()) < np.linalg.cond(dense) / 1e3
+
+    def test_zero_row_kept_invertible_transform(self):
+        dense = np.array([[1.0, 0.0], [0.0, 0.0]])
+        bal = balance_matrix(csr_from_dense(dense))
+        assert bal.row_scale[1] == 1.0
+
+    def test_requires_square(self):
+        with pytest.raises(ValueError):
+            balance_matrix(csr_from_dense(np.ones((2, 3))))
+
+
+class TestGivensSolver:
+    def arnoldi(self, A_dense, b, m):
+        """Reference Arnoldi: returns H ((m+1) x m) and beta."""
+        n = A_dense.shape[0]
+        beta = np.linalg.norm(b)
+        Q = np.zeros((n, m + 1))
+        Q[:, 0] = b / beta
+        H = np.zeros((m + 1, m))
+        for j in range(m):
+            w = A_dense @ Q[:, j]
+            for i in range(j + 1):
+                H[i, j] = Q[:, i] @ w
+                w -= H[i, j] * Q[:, i]
+            H[j + 1, j] = np.linalg.norm(w)
+            Q[:, j + 1] = w / H[j + 1, j]
+        return H, beta
+
+    def test_matches_numpy_lstsq(self, rng):
+        A = rng.standard_normal((12, 12)) + 12 * np.eye(12)
+        b = rng.standard_normal(12)
+        H, beta = self.arnoldi(A, b, 6)
+        solver = GivensHessenbergSolver(6, beta)
+        for j in range(6):
+            solver.append_column(H[: j + 2, j])
+        y = solver.solve()
+        rhs = np.zeros(7)
+        rhs[0] = beta
+        y_ref, *_ = np.linalg.lstsq(H, rhs, rcond=None)
+        np.testing.assert_allclose(y, y_ref, atol=1e-10)
+
+    def test_residual_estimate_matches_true_lsq_residual(self, rng):
+        A = rng.standard_normal((10, 10)) + 10 * np.eye(10)
+        b = rng.standard_normal(10)
+        H, beta = self.arnoldi(A, b, 5)
+        solver = GivensHessenbergSolver(5, beta)
+        for j in range(5):
+            est = solver.append_column(H[: j + 2, j])
+            rhs = np.zeros(j + 2)
+            rhs[0] = beta
+            _, res, *_ = np.linalg.lstsq(H[: j + 2, : j + 1], rhs, rcond=None)
+            true = np.sqrt(res[0]) if res.size else np.linalg.norm(
+                rhs - H[: j + 2, : j + 1] @ np.linalg.lstsq(
+                    H[: j + 2, : j + 1], rhs, rcond=None
+                )[0]
+            )
+            assert est == pytest.approx(true, rel=1e-8, abs=1e-12)
+
+    def test_overfill_raises(self):
+        solver = GivensHessenbergSolver(1, 1.0)
+        solver.append_column(np.array([1.0, 0.5]))
+        with pytest.raises(RuntimeError, match="full"):
+            solver.append_column(np.array([1.0, 0.5, 0.1]))
+
+    def test_wrong_column_length(self):
+        solver = GivensHessenbergSolver(3, 1.0)
+        with pytest.raises(ValueError):
+            solver.append_column(np.array([1.0, 2.0, 3.0]))
+
+    def test_empty_solve(self):
+        solver = GivensHessenbergSolver(3, 2.0)
+        assert solver.solve().size == 0
+        assert solver.residual_norm == pytest.approx(2.0)
+
+    def test_invalid_m(self):
+        with pytest.raises(ValueError):
+            GivensHessenbergSolver(0, 1.0)
+
+
+class TestHessenbergLstsq:
+    def test_matches_numpy(self, rng):
+        t = 7
+        H = np.triu(rng.standard_normal((t + 1, t)), k=-1)
+        H[:t, :t] += np.diag(np.full(t, 5.0))  # well conditioned
+        beta = 2.5
+        y, res = hessenberg_lstsq(H, beta)
+        rhs = np.zeros(t + 1)
+        rhs[0] = beta
+        y_ref, *_ = np.linalg.lstsq(H, rhs, rcond=None)
+        np.testing.assert_allclose(y, y_ref, atol=1e-10)
+        assert res == pytest.approx(np.linalg.norm(rhs - H @ y_ref), abs=1e-10)
+
+    def test_shape_validation(self):
+        with pytest.raises(ValueError):
+            hessenberg_lstsq(np.zeros((3, 3)), 1.0)
+
+
+class TestChangeOfBasis:
+    def test_monomial(self):
+        B = build_change_of_basis([ShiftOp("none")] * 3)
+        expected = np.zeros((4, 3))
+        expected[1, 0] = expected[2, 1] = expected[3, 2] = 1.0
+        np.testing.assert_array_equal(B, expected)
+
+    def test_real_shifts(self):
+        B = build_change_of_basis([ShiftOp("real", re=2.0), ShiftOp("real", re=-1.0)])
+        assert B[0, 0] == 2.0 and B[1, 1] == -1.0
+        assert B[1, 0] == 1.0 and B[2, 1] == 1.0
+
+    def test_complex_pair(self):
+        ops = [
+            ShiftOp("complex_first", re=1.0, im=2.0),
+            ShiftOp("complex_second", re=1.0, im=2.0),
+        ]
+        B = build_change_of_basis(ops)
+        assert B[0, 1] == pytest.approx(-4.0)  # -(Im theta)^2
+        assert B[0, 0] == B[1, 1] == 1.0
+
+    def test_krylov_relation_holds(self, rng):
+        """A [v0 w1] = [v0 w1 w2] B for MPK-generated vectors."""
+        A = poisson2d(5)
+        dense = A.to_dense()
+        ops = [ShiftOp("real", re=1.3), ShiftOp("real", re=-0.4)]
+        B = build_change_of_basis(ops)
+        v0 = rng.standard_normal(A.n_rows)
+        w1 = dense @ v0 - 1.3 * v0
+        w2 = dense @ w1 + 0.4 * w1
+        W = np.column_stack([v0, w1, w2])
+        np.testing.assert_allclose(dense @ W[:, :2], W @ B, atol=1e-10)
+
+    def test_complex_second_first_rejected(self):
+        with pytest.raises(ValueError):
+            build_change_of_basis([ShiftOp("complex_second", re=1.0, im=1.0)])
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            build_change_of_basis([])
+
+
+class TestRitzValues:
+    def test_symmetric_matrix_eigenvalues(self, rng):
+        M = rng.standard_normal((5, 5))
+        H = M + M.T
+        np.testing.assert_allclose(
+            np.sort(ritz_values(H).real), np.sort(np.linalg.eigvalsh(H)), atol=1e-10
+        )
+
+    def test_empty(self):
+        assert ritz_values(np.zeros((0, 0))).size == 0
+
+    def test_requires_square(self):
+        with pytest.raises(ValueError):
+            ritz_values(np.zeros((3, 2)))

@@ -1,0 +1,92 @@
+"""Tests for the host-staged exchange."""
+
+import numpy as np
+import pytest
+
+from repro.dist.exchange import StagedExchange
+from repro.gpu.context import MultiGpuContext
+from repro.order.partition import Partition, block_row_partition
+
+
+def dist_parts(ctx, partition, vector):
+    """Adopt slices of a host vector onto the devices (test helper)."""
+    return [
+        dev.adopt(vector[partition.rows_of(d)].copy())
+        for d, dev in enumerate(ctx.devices)
+    ]
+
+
+class TestStagedExchange:
+    def test_delivers_requested_values(self, rng):
+        ctx = MultiGpuContext(3)
+        n = 12
+        part = block_row_partition(n, 3)
+        # Each device asks for two elements owned by other devices.
+        recv = [
+            np.array([4, 8]),   # device 0 asks for elements of dev 1 and 2
+            np.array([0, 11]),  # device 1
+            np.array([3, 5]),   # device 2
+        ]
+        ex = StagedExchange(part, recv)
+        v = rng.standard_normal(n)
+        received = ex.exchange(ctx, dist_parts(ctx, part, v))
+        for d in range(3):
+            np.testing.assert_array_equal(received[d], v[recv[d]])
+
+    def test_message_counts(self):
+        ctx = MultiGpuContext(3)
+        part = block_row_partition(9, 3)
+        recv = [np.array([3]), np.array([0]), np.array([4])]
+        ex = StagedExchange(part, recv)
+        ctx.counters.reset()
+        ex.exchange(ctx, dist_parts(ctx, part, np.zeros(9)))
+        # Devices 0 and 1 send (dev 2's element {4} is owned by dev 1, and
+        # nobody asks for dev 2's rows); all three devices receive.
+        assert ctx.counters.d2h_messages == 2
+        assert ctx.counters.h2d_messages == 3
+
+    def test_empty_requests_no_messages(self):
+        ctx = MultiGpuContext(2)
+        part = block_row_partition(4, 2)
+        ex = StagedExchange(part, [np.empty(0, np.int64), np.empty(0, np.int64)])
+        ctx.counters.reset()
+        received = ex.exchange(ctx, dist_parts(ctx, part, np.zeros(4)))
+        assert ctx.counters.total_messages == 0
+        assert all(r.size == 0 for r in received)
+
+    def test_volumes(self):
+        part = block_row_partition(10, 2)
+        # dev0 asks for {5, 6}, dev1 asks for {0}; union = 3 elements
+        ex = StagedExchange(part, [np.array([5, 6]), np.array([0])])
+        assert ex.gather_volume() == 3
+        assert ex.scatter_volume() == 3
+        assert ex.total_volume() == 6
+
+    def test_shared_request_gathered_once(self):
+        # Two devices asking for the same element: gather counts it once.
+        part = Partition(np.array([0, 1, 2]), 3)
+        ex = StagedExchange(
+            part, [np.array([2]), np.array([2]), np.empty(0, np.int64)]
+        )
+        assert ex.gather_volume() == 1
+        assert ex.scatter_volume() == 2
+
+    def test_rejects_owned_requests(self):
+        part = block_row_partition(4, 2)
+        with pytest.raises(ValueError, match="already owns"):
+            StagedExchange(part, [np.array([0]), np.empty(0, np.int64)])
+
+    def test_rejects_wrong_list_length(self):
+        part = block_row_partition(4, 2)
+        with pytest.raises(ValueError, match="one entry per part"):
+            StagedExchange(part, [np.empty(0, np.int64)])
+
+    def test_repeated_exchange_reuses_plan(self, rng):
+        ctx = MultiGpuContext(2)
+        part = block_row_partition(6, 2)
+        ex = StagedExchange(part, [np.array([4]), np.array([1])])
+        for _ in range(3):
+            v = rng.standard_normal(6)
+            rec = ex.exchange(ctx, dist_parts(ctx, part, v))
+            assert rec[0][0] == v[4]
+            assert rec[1][0] == v[1]

@@ -1,0 +1,69 @@
+"""Tests for the overlap (ready_at) transfer semantics."""
+
+import numpy as np
+import pytest
+
+from repro.gpu.context import MultiGpuContext
+
+
+class TestReadyAt:
+    def test_d2h_ready_at_uses_earlier_time(self):
+        ctx = MultiGpuContext(1)
+        dev = ctx.devices[0]
+        payload = dev.zeros(1000)
+        ready = dev.clock
+        # Device then does a lot more compute (the "overlapped" work).
+        dev.charge_kernel("gemm_tn", "batched", n=500_000, k=30, j=30)
+        busy_until = dev.clock
+        ctx.d2h(payload, ready_at=ready)
+        # The transfer shipped from `ready`, not from the busy clock.
+        assert ctx.host.clock < busy_until
+
+    def test_d2h_without_ready_at_waits_for_device(self):
+        ctx = MultiGpuContext(1)
+        dev = ctx.devices[0]
+        payload = dev.zeros(1000)
+        dev.charge_kernel("gemm_tn", "batched", n=500_000, k=30, j=30)
+        busy_until = dev.clock
+        ctx.d2h(payload)
+        assert ctx.host.clock >= busy_until
+
+    def test_ready_at_cannot_be_in_future(self):
+        """A bogus future ready_at is clamped to the device clock."""
+        ctx = MultiGpuContext(1)
+        dev = ctx.devices[0]
+        payload = dev.zeros(10)
+        ctx.d2h(payload, ready_at=dev.clock + 100.0)
+        # The arrival is based on the real clock, not the future stamp.
+        assert ctx.host.clock < 1.0
+
+    def test_allreduce_ready_at(self):
+        ctx = MultiGpuContext(2)
+        partials = []
+        ready = []
+        for dev in ctx.devices:
+            p = dev.adopt(np.array([1.0]))
+            partials.append(p)
+            ready.append(dev.clock)
+            dev.charge_kernel("gemm_tn", "batched", n=500_000, k=30, j=30)
+        total = ctx.allreduce_sum(partials, ready_at=ready)
+        assert total[0] == pytest.approx(2.0)
+        # The reduction rode under the device compute.
+        assert ctx.host.clock < max(d.clock for d in ctx.devices)
+
+    def test_allreduce_ready_at_length_checked(self):
+        ctx = MultiGpuContext(2)
+        partials = [dev.zeros(1) for dev in ctx.devices]
+        with pytest.raises(ValueError, match="one entry per device"):
+            ctx.allreduce_sum(partials, ready_at=[0.0])
+
+    def test_multinode_ready_at(self):
+        from repro.gpu.multinode import MultiNodeContext
+
+        ctx = MultiNodeContext(2, 1)
+        dev = ctx.devices[1]  # remote device
+        payload = dev.zeros(100)
+        ready = dev.clock
+        dev.charge_kernel("gemm_tn", "batched", n=500_000, k=30, j=30)
+        ctx.d2h(payload, ready_at=ready)
+        assert ctx.host.clock < dev.clock

@@ -1,0 +1,59 @@
+"""Tests for the ASCII plot renderer."""
+
+import pytest
+
+from repro.harness.plot import ascii_plot
+
+
+class TestAsciiPlot:
+    def test_basic_render(self):
+        out = ascii_plot([1, 2, 3], {"a": [1.0, 2.0, 3.0]}, title="T")
+        lines = out.splitlines()
+        assert lines[0] == "T"
+        assert "o" in out  # first marker
+        assert "o a" in lines[-1]  # legend
+
+    def test_multiple_series_markers(self):
+        out = ascii_plot([0, 1], {"up": [0.0, 1.0], "down": [1.0, 0.0]})
+        assert "o" in out and "x" in out
+        assert "o up" in out and "x down" in out
+
+    @staticmethod
+    def plot_rows(out):
+        """The raster lines only (strip legend and x-axis labels)."""
+        lines = out.splitlines()
+        return [line for line in lines if "|" in line]
+
+    def test_monotone_series_renders_monotone(self):
+        out = ascii_plot([0, 1, 2, 3], {"y": [0.0, 1.0, 2.0, 3.0]}, width=20, height=8)
+        cols = [line.index("o") for line in self.plot_rows(out) if "o" in line]
+        # Raster rows go top (high y) to bottom: columns must decrease.
+        assert cols == sorted(cols, reverse=True)
+
+    def test_constant_series(self):
+        out = ascii_plot([0, 1, 2], {"flat": [5.0, 5.0, 5.0]})
+        assert sum(line.count("o") for line in self.plot_rows(out)) == 3
+
+    def test_none_values_skipped(self):
+        out = ascii_plot([0, 1, 2], {"holey": [1.0, None, 3.0]})
+        assert sum(line.count("o") for line in self.plot_rows(out)) == 2
+
+    def test_logy(self):
+        out = ascii_plot([0, 1, 2], {"exp": [1.0, 100.0, 10000.0]}, logy=True, height=9)
+        # log scale spreads the three points over distinct rows.
+        rows_with_marker = [line for line in self.plot_rows(out) if "o" in line]
+        assert len(rows_with_marker) == 3
+
+    def test_logy_rejects_nonpositive(self):
+        with pytest.raises(ValueError, match="positive"):
+            ascii_plot([0, 1], {"bad": [0.0, 1.0]}, logy=True)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ascii_plot([], {"a": []})
+        with pytest.raises(ValueError):
+            ascii_plot([1], {})
+        with pytest.raises(ValueError, match="length mismatch"):
+            ascii_plot([1, 2], {"a": [1.0]})
+        with pytest.raises(ValueError, match="at most"):
+            ascii_plot([1], {str(i): [1.0] for i in range(9)})

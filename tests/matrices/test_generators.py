@@ -1,0 +1,212 @@
+"""Tests for the matrix generators."""
+
+import numpy as np
+import pytest
+
+from repro.matrices import (
+    cant,
+    convection_diffusion2d,
+    dielfilter,
+    g3_circuit,
+    nlpkkt,
+    poisson2d,
+    poisson3d,
+    random_banded,
+    random_sparse,
+    stencil3d,
+    well_conditioned_tall_skinny,
+)
+from repro.order.rcm import matrix_bandwidth
+
+
+class TestPoisson:
+    def test_poisson2d_known_small(self):
+        A = poisson2d(2).to_dense()
+        expected = np.array(
+            [
+                [4, -1, -1, 0],
+                [-1, 4, 0, -1],
+                [-1, 0, 4, -1],
+                [0, -1, -1, 4],
+            ],
+            dtype=float,
+        )
+        np.testing.assert_array_equal(A, expected)
+
+    def test_poisson2d_symmetric_and_spd(self):
+        A = poisson2d(6).to_dense()
+        np.testing.assert_array_equal(A, A.T)
+        assert np.linalg.eigvalsh(A).min() > 0
+
+    def test_poisson2d_rectangular(self):
+        A = poisson2d(3, 5)
+        assert A.shape == (15, 15)
+
+    def test_poisson3d_row_sums(self):
+        # Interior rows of the Dirichlet Laplacian sum to 0.
+        A = poisson3d(5)
+        sums = A.matvec(np.ones(A.n_rows))
+        center = 2 * 25 + 2 * 5 + 2  # index of an interior node
+        assert sums[center] == pytest.approx(0.0)
+
+    def test_poisson3d_nnz_per_row(self):
+        A = poisson3d(8)
+        assert 6.0 < A.nnz / A.n_rows <= 7.0
+
+    def test_invalid_dims(self):
+        with pytest.raises(ValueError):
+            poisson2d(0)
+        with pytest.raises(ValueError):
+            poisson3d(2, 0, 2)
+
+
+class TestConvectionDiffusion:
+    def test_nonsymmetric(self):
+        A = convection_diffusion2d(6, wind=(2.0, 1.0)).to_dense()
+        assert not np.allclose(A, A.T)
+
+    def test_diagonally_dominant(self):
+        A = convection_diffusion2d(6)
+        dense = A.to_dense()
+        diag = np.abs(np.diag(dense))
+        off = np.abs(dense).sum(axis=1) - diag
+        assert np.all(diag >= off - 1e-12)
+
+    def test_zero_wind_is_symmetric(self):
+        A = convection_diffusion2d(5, wind=(0.0, 0.0)).to_dense()
+        np.testing.assert_allclose(A, A.T)
+
+
+class TestStencil3d:
+    def test_multi_dof_block_structure(self):
+        A = stencil3d((2, 2, 2), [(0, 0, 0)], [1.0], dofs_per_node=2)
+        dense = A.to_dense()
+        assert dense.shape == (16, 16)
+        # diagonal blocks only
+        assert dense[0, 2] == 0.0
+        assert dense[0, 1] != 0.0  # intra-node coupling
+
+    def test_custom_coupling(self):
+        A = stencil3d(
+            (2, 1, 1), [(0, 0, 0)], [2.0], dofs_per_node=2, coupling=np.eye(2)
+        )
+        np.testing.assert_array_equal(A.to_dense(), 2.0 * np.eye(4))
+
+    def test_offset_validation(self):
+        with pytest.raises(ValueError, match="equal lengths"):
+            stencil3d((2, 2, 2), [(0, 0, 0)], [1.0, 2.0])
+
+
+class TestPaperAnalogs:
+    def test_cant_shape_and_density(self):
+        A = cant()
+        assert A.n_rows == 2 * 48 * 10 * 10
+        assert 40 <= A.nnz / A.n_rows <= 70  # paper: 64.2, boundary-truncated
+
+    def test_cant_symmetric(self):
+        A = cant(nx=6, ny=4, nz=4)
+        dense = A.to_dense()
+        np.testing.assert_allclose(dense, dense.T)
+
+    def test_cant_naturally_banded(self):
+        """cant's defining property (Fig. 6): small natural bandwidth."""
+        A = cant(nx=24, ny=5, nz=5)
+        assert matrix_bandwidth(A) < A.n_rows / 5
+
+    def test_g3_circuit_density(self):
+        A = g3_circuit(nx=40, ny=40)
+        assert 4.0 <= A.nnz / A.n_rows <= 5.6  # paper: 4.8
+
+    def test_g3_circuit_scrambled_has_no_locality(self):
+        scrambled = g3_circuit(nx=24, ny=24, scramble=True, long_range_fraction=0.0)
+        ordered = g3_circuit(nx=24, ny=24, scramble=False, long_range_fraction=0.0)
+        assert matrix_bandwidth(scrambled) > 3 * matrix_bandwidth(ordered)
+
+    def test_g3_circuit_spd(self):
+        A = g3_circuit(nx=12, ny=12).to_dense()
+        np.testing.assert_allclose(A, A.T, atol=1e-12)
+        assert np.linalg.eigvalsh(A).min() > 0
+
+    def test_g3_circuit_deterministic(self):
+        A = g3_circuit(nx=10, ny=10)
+        B = g3_circuit(nx=10, ny=10)
+        np.testing.assert_array_equal(A.to_dense(), B.to_dense())
+
+    def test_dielfilter_density(self):
+        A = dielfilter()
+        assert 30 <= A.nnz / A.n_rows <= 45  # paper: 41.9
+
+    def test_dielfilter_shift_moves_spectrum_toward_indefinite(self):
+        """The EM analog pushes part of the spectrum toward/past zero.
+
+        On small grids the unshifted minimum eigenvalue is larger (fewer
+        low-frequency modes), so indefiniteness is checked with a larger
+        explicit shift; the direction of the shift is the invariant.
+        """
+        eigs_small = np.linalg.eigvalsh(dielfilter(nx=5, ny=5, nz=5, shift=3.0).to_dense())
+        assert eigs_small.min() < 0 < eigs_small.max()
+        base = np.linalg.eigvalsh(dielfilter(nx=5, ny=5, nz=5, shift=0.0).to_dense())
+        shifted = np.linalg.eigvalsh(dielfilter(nx=5, ny=5, nz=5, shift=1.5).to_dense())
+        np.testing.assert_allclose(shifted, base - 1.5, atol=1e-10)
+
+    def test_nlpkkt_density(self):
+        A = nlpkkt()
+        # paper: 26.9; the analog sits lower because boundary truncation
+        # on an 18^3 grid trims ~25% of the 27-point stencil.
+        assert 15 <= A.nnz / A.n_rows <= 32
+
+    def test_nlpkkt_symmetric_indefinite(self):
+        A = nlpkkt(nx=4, ny=4, nz=4).to_dense()
+        np.testing.assert_allclose(A, A.T, atol=1e-12)
+        eigs = np.linalg.eigvalsh(A)
+        assert eigs.min() < 0 < eigs.max()
+
+    def test_nlpkkt_saddle_block_structure(self):
+        nx = 3
+        A = nlpkkt(nx=nx, ny=nx, nz=nx, delta=0.1).to_dense()
+        n_nodes = nx**3
+        # (2,2) block is -delta I.
+        np.testing.assert_allclose(
+            A[n_nodes:, n_nodes:], -0.1 * np.eye(n_nodes), atol=1e-12
+        )
+
+    def test_invalid_sizes(self):
+        with pytest.raises(ValueError):
+            g3_circuit(nx=1)
+        with pytest.raises(ValueError):
+            nlpkkt(nx=1)
+
+
+class TestRandomGenerators:
+    def test_random_banded_within_band(self):
+        A = random_banded(30, 3, seed=1)
+        assert matrix_bandwidth(A) <= 3
+
+    def test_random_banded_nonsingular(self):
+        A = random_banded(20, 2, seed=2, dominant=True)
+        assert np.linalg.cond(A.to_dense()) < 1e4
+
+    def test_random_sparse_density(self):
+        A = random_sparse(500, 8.0, seed=3)
+        assert 6.0 < A.nnz / A.n_rows <= 9.0
+
+    def test_random_sparse_has_full_diagonal(self):
+        A = random_sparse(50, 3.0, seed=4)
+        assert np.all(A.diagonal() != 0.0)
+
+    def test_tall_skinny_condition(self):
+        V = well_conditioned_tall_skinny(100, 6, condition=1e4, seed=5)
+        s = np.linalg.svd(V, compute_uv=False)
+        assert s[0] / s[-1] == pytest.approx(1e4, rel=1e-6)
+
+    def test_tall_skinny_validation(self):
+        with pytest.raises(ValueError):
+            well_conditioned_tall_skinny(3, 5)
+        with pytest.raises(ValueError):
+            well_conditioned_tall_skinny(10, 2, condition=0.5)
+
+    def test_random_generator_validation(self):
+        with pytest.raises(ValueError):
+            random_banded(0, 1)
+        with pytest.raises(ValueError):
+            random_sparse(10, 0.5)

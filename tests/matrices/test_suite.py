@@ -1,0 +1,71 @@
+"""Tests for the paper-suite registry and spectral property estimation."""
+
+import numpy as np
+import pytest
+
+from repro.matrices import poisson2d
+from repro.matrices.suite import (
+    PAPER_SUITE,
+    dominant_ritz_ratio,
+    load_suite_matrix,
+)
+
+
+class TestSuiteRegistry:
+    def test_all_four_matrices_present(self):
+        assert set(PAPER_SUITE) == {"cant", "g3_circuit", "dielfilter", "nlpkkt"}
+
+    @pytest.mark.parametrize("name", sorted(PAPER_SUITE))
+    def test_constructors_produce_square_matrices(self, name):
+        A, info = load_suite_matrix(name)
+        assert A.n_rows == A.n_cols
+        assert A.n_rows > 1000  # reduced scale but non-trivial
+        assert info.name == name
+
+    def test_unknown_name(self):
+        with pytest.raises(ValueError, match="unknown suite matrix"):
+            load_suite_matrix("bcsstk01")
+
+    @pytest.mark.parametrize("name", sorted(PAPER_SUITE))
+    def test_density_close_to_paper(self, name):
+        A, info = load_suite_matrix(name)
+        measured = A.nnz / A.n_rows
+        assert measured == pytest.approx(info.paper_nnz_per_row, rel=0.45)
+
+    def test_parameters_match_paper_tables(self):
+        assert PAPER_SUITE["cant"].gmres_m == 60
+        assert PAPER_SUITE["g3_circuit"].gmres_m == 30
+        assert PAPER_SUITE["dielfilter"].gmres_m == 180
+        assert PAPER_SUITE["nlpkkt"].gmres_m == 120
+        assert PAPER_SUITE["nlpkkt"].ca_s == 10
+        assert PAPER_SUITE["cant"].ordering == "natural"
+
+
+class TestDominantRitzRatio:
+    def test_diagonal_matrix_exact(self):
+        from repro.sparse.csr import csr_from_dense
+
+        A = csr_from_dense(np.diag([10.0, 7.0, 3.0, 1.0, 0.5]))
+        t1, t2 = dominant_ritz_ratio(A, n_iter=5)
+        assert t1 == pytest.approx(10.0, rel=1e-6)
+        assert t2 == pytest.approx(7.0, rel=1e-4)
+
+    def test_poisson_close_eigenvalues(self):
+        """Large discretizations cluster their top eigenvalues — the
+        property that makes the monomial basis ill-conditioned."""
+        A = poisson2d(20)
+        t1, t2 = dominant_ritz_ratio(A, n_iter=50)
+        assert t1 >= t2 > 0
+        assert t1 / t2 < 1.05
+
+    def test_ratio_of_suite_matrices_near_one(self):
+        A, info = load_suite_matrix("cant")
+        t1, t2 = dominant_ritz_ratio(A, n_iter=40)
+        # The paper's theta1/theta2 are all within 3% of 1.
+        assert 1.0 <= t1 / t2 < 1.2
+
+    def test_too_small_matrix(self):
+        from repro.sparse.csr import eye_csr
+
+        with pytest.raises(ValueError):
+            dominant_ritz_ratio(eye_csr(1))

@@ -1,0 +1,122 @@
+"""Tests for MPK structural analysis (Figs. 6-7 metrics)."""
+
+import numpy as np
+import pytest
+
+from repro.matrices import poisson2d, g3_circuit, cant
+from repro.mpk.analysis import (
+    communication_volume,
+    computational_overhead,
+    mpk_structure_report,
+    spmv_communication_volume,
+    surface_to_volume,
+)
+from repro.order import kway_partition, rcm
+from repro.order.partition import block_row_partition
+
+
+class TestSurfaceToVolume:
+    def test_grows_with_s(self):
+        A = poisson2d(12)
+        part = block_row_partition(A.n_rows, 3)
+        ratios = [np.mean(surface_to_volume(A, part, s)) for s in (1, 2, 4, 6)]
+        assert all(a < b for a, b in zip(ratios, ratios[1:]))
+
+    def test_single_device_zero(self):
+        A = poisson2d(6)
+        part = block_row_partition(A.n_rows, 1)
+        assert surface_to_volume(A, part, 3) == [0.0]
+
+    def test_banded_matrix_linear_growth(self):
+        """cant's banded structure: surface grows ~linearly in s (Fig. 6)."""
+        A = cant(nx=16, ny=4, nz=4)
+        part = block_row_partition(A.n_rows, 3)
+        r = [np.mean(surface_to_volume(A, part, s)) for s in (1, 2, 3, 4)]
+        increments = np.diff(r)
+        # near-constant increments => linear growth
+        assert increments.max() / max(increments.min(), 1e-12) < 2.5
+
+    def test_ordering_reduces_surface_for_scrambled_graph(self):
+        """Fig. 6 left: natural ordering of G3_circuit is catastrophic;
+        RCM and KWY shrink the surface dramatically."""
+        A = g3_circuit(nx=20, ny=20)
+        n = A.n_rows
+        s = 3
+        natural = np.mean(surface_to_volume(A, block_row_partition(n, 3), s))
+        rcm_mat = A.permute(rcm(A))
+        with_rcm = np.mean(surface_to_volume(rcm_mat, block_row_partition(n, 3), s))
+        kwy = np.mean(surface_to_volume(A, kway_partition(A, 3), s))
+        assert with_rcm < natural / 2
+        assert kwy < natural / 2
+
+
+class TestComputationalOverhead:
+    def test_positive_and_growing(self):
+        A = poisson2d(10)
+        part = block_row_partition(A.n_rows, 2)
+        w = [np.mean(computational_overhead(A, part, s)) for s in (1, 2, 4)]
+        assert 0 < w[0] < w[1] < w[2]
+
+    def test_superlinear_in_s_for_linear_surface(self):
+        """If the surface grows linearly, W(s) is ~quadratic (Sec. IV-B)."""
+        A = cant(nx=16, ny=4, nz=4)
+        part = block_row_partition(A.n_rows, 2)
+        w2 = np.mean(computational_overhead(A, part, 2))
+        w4 = np.mean(computational_overhead(A, part, 4))
+        assert w4 > 2.5 * w2
+
+
+class TestCommunicationVolume:
+    def test_s1_equals_spmv(self):
+        A = poisson2d(8)
+        part = block_row_partition(A.n_rows, 3)
+        assert communication_volume(A, part, 1, 60) == spmv_communication_volume(
+            A, part, 60
+        )
+
+    def test_volume_decreases_in_calls_but_grows_in_payload(self):
+        # Per-invocation payload grows with s; number of invocations drops.
+        A = poisson2d(10)
+        part = block_row_partition(A.n_rows, 2)
+        v1 = communication_volume(A, part, 1, 60)
+        v5 = communication_volume(A, part, 5, 60)
+        assert v5 > 0
+        # For a 1-wide band, |delta(1:s)| ~ s so total volume ~ constant.
+        assert v5 < 3 * v1
+
+    def test_ceil_division_of_m(self):
+        A = poisson2d(6)
+        part = block_row_partition(A.n_rows, 2)
+        # m=10, s=4 -> 3 invocations
+        v = communication_volume(A, part, 4, 10)
+        per_call = communication_volume(A, part, 4, 4)
+        assert v == pytest.approx(3 * per_call)
+
+    def test_invalid_m(self):
+        A = poisson2d(4)
+        with pytest.raises(ValueError):
+            communication_volume(A, block_row_partition(A.n_rows, 2), 2, 0)
+
+
+class TestStructureReport:
+    def test_report_keys_and_lengths(self):
+        A = poisson2d(8)
+        part = block_row_partition(A.n_rows, 2)
+        rep = mpk_structure_report(A, part, [1, 2, 3], m=30)
+        assert rep["s"] == [1, 2, 3]
+        for key in (
+            "surface_to_volume_mean",
+            "surface_to_volume_max",
+            "overhead_per_restart",
+            "comm_volume",
+        ):
+            assert len(rep[key]) == 3
+
+    def test_max_at_least_mean(self):
+        A = poisson2d(8)
+        part = block_row_partition(A.n_rows, 3)
+        rep = mpk_structure_report(A, part, [2, 4], m=20)
+        for mx, mean in zip(
+            rep["surface_to_volume_max"], rep["surface_to_volume_mean"]
+        ):
+            assert mx >= mean - 1e-12

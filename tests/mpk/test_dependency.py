@@ -1,0 +1,119 @@
+"""Tests for the MPK boundary-set recursion."""
+
+import numpy as np
+import pytest
+
+from repro.matrices import poisson2d
+from repro.mpk.dependency import compute_dependencies
+from repro.order.partition import Partition, block_row_partition
+from repro.sparse.csr import csr_from_dense, eye_csr
+
+
+def tridiag(n):
+    dense = 2.0 * np.eye(n)
+    for i in range(n - 1):
+        dense[i, i + 1] = dense[i + 1, i] = -1.0
+    return csr_from_dense(dense)
+
+
+class TestBoundarySets:
+    def test_tridiagonal_shells_grow_by_one(self):
+        # Device 0 owns rows 0..4 of a 10-row tridiagonal matrix: shell k
+        # adds exactly one row on the right boundary.
+        A = tridiag(10)
+        part = block_row_partition(10, 2)
+        s = 3
+        deps = compute_dependencies(A, part, s)
+        dep0 = deps[0]
+        np.testing.assert_array_equal(dep0.deltas[0], [5])
+        np.testing.assert_array_equal(dep0.deltas[1], [6])
+        np.testing.assert_array_equal(dep0.deltas[2], [7])
+
+    def test_shells_are_disjoint_and_foreign(self):
+        A = poisson2d(8)
+        part = block_row_partition(A.n_rows, 3)
+        deps = compute_dependencies(A, part, 4)
+        for d, dep in enumerate(deps):
+            seen = set(dep.owned.tolist())
+            for shell in dep.deltas:
+                shell_set = set(shell.tolist())
+                assert not (shell_set & seen)
+                seen |= shell_set
+
+    def test_ext_rows_level_ordered(self):
+        A = poisson2d(6)
+        part = block_row_partition(A.n_rows, 2)
+        deps = compute_dependencies(A, part, 3)
+        dep = deps[0]
+        expected = np.concatenate([dep.owned, *dep.deltas])
+        np.testing.assert_array_equal(dep.ext_rows, expected)
+
+    def test_i_sizes_monotone(self):
+        A = poisson2d(6)
+        part = block_row_partition(A.n_rows, 2)
+        dep = compute_dependencies(A, part, 4)[0]
+        sizes = [dep.i_size(k) for k in range(1, 6)]
+        assert sizes == sorted(sizes, reverse=True)
+        assert dep.i_size(5) == dep.n_owned  # i^(d,s+1) = owned rows
+
+    def test_active_rows_prefix(self):
+        A = poisson2d(6)
+        part = block_row_partition(A.n_rows, 2)
+        dep = compute_dependencies(A, part, 3)[0]
+        # step s computes only owned rows; step 1 computes i^(d,2)
+        assert dep.active_rows(3) == dep.n_owned
+        assert dep.active_rows(1) == dep.i_size(2)
+
+    def test_delta_range(self):
+        A = poisson2d(6)
+        part = block_row_partition(A.n_rows, 2)
+        dep = compute_dependencies(A, part, 3)[0]
+        # delta_range(1) = all shells; delta_range(s) = first shell only
+        assert dep.delta_range(1).size == dep.boundary.size
+        assert dep.delta_range(3).size == dep.deltas[0].size
+
+    def test_identity_matrix_no_boundary(self):
+        deps = compute_dependencies(eye_csr(8), block_row_partition(8, 2), 3)
+        for dep in deps:
+            assert dep.boundary.size == 0
+
+    def test_shells_match_bfs_distance(self):
+        # delta^(d,k) is the distance-(s-k+1) shell from the owned block.
+        A = poisson2d(7)
+        part = block_row_partition(A.n_rows, 2)
+        s = 3
+        dep = compute_dependencies(A, part, s)[0]
+        dense = A.to_dense() != 0
+        reach = set(dep.owned.tolist())
+        for level, shell in enumerate(dep.deltas, start=1):
+            neighbors = set()
+            for i in reach:
+                neighbors |= set(np.flatnonzero(dense[i]).tolist())
+            expected = neighbors - reach
+            assert set(shell.tolist()) == expected
+            reach |= expected
+
+    def test_invalid_s(self):
+        with pytest.raises(ValueError):
+            compute_dependencies(eye_csr(4), block_row_partition(4, 2), 0)
+
+    def test_requires_square(self):
+        A = csr_from_dense(np.ones((2, 3)))
+        with pytest.raises(ValueError, match="square"):
+            compute_dependencies(A, block_row_partition(2, 1), 1)
+
+    def test_k_out_of_range(self):
+        dep = compute_dependencies(eye_csr(4), block_row_partition(4, 2), 2)[0]
+        with pytest.raises(ValueError):
+            dep.i_size(0)
+        with pytest.raises(ValueError):
+            dep.active_rows(3)
+
+    def test_directed_structure_used(self):
+        # Row 0 reads column 1 but not vice versa: only device 0 needs halo.
+        dense = np.array([[1.0, 0.5], [0.0, 1.0]])
+        A = csr_from_dense(dense)
+        part = Partition(np.array([0, 1]), 2)
+        deps = compute_dependencies(A, part, 1)
+        assert deps[0].boundary.tolist() == [1]
+        assert deps[1].boundary.tolist() == []

@@ -1,0 +1,187 @@
+"""Tests for the executable matrix powers kernel."""
+
+import numpy as np
+import pytest
+
+from repro.dist.multivector import DistMultiVector
+from repro.gpu.context import MultiGpuContext
+from repro.matrices import poisson2d, g3_circuit
+from repro.matrices.random_sparse import random_sparse
+from repro.mpk.matrix_powers import MatrixPowersKernel
+from repro.mpk.shifts import ShiftOp
+from repro.order import kway_partition
+from repro.order.partition import block_row_partition
+
+
+def run_mpk(A, n_gpus, s, v0, shift_ops=None, partition=None):
+    ctx = MultiGpuContext(n_gpus)
+    part = partition or block_row_partition(A.n_rows, n_gpus)
+    mpk = MatrixPowersKernel(ctx, A, part, s)
+    V = DistMultiVector(ctx, part, s + 1)
+    V.set_column_from_host(0, v0)
+    mpk.run(V, 0, shift_ops)
+    return ctx, mpk, V
+
+
+class TestMonomialCorrectness:
+    @pytest.mark.parametrize("n_gpus", [1, 2, 3])
+    @pytest.mark.parametrize("s", [1, 2, 5])
+    def test_matches_repeated_spmv(self, n_gpus, s, rng):
+        A = poisson2d(8)
+        v0 = rng.standard_normal(A.n_rows)
+        _, _, V = run_mpk(A, n_gpus, s, v0)
+        ref = v0.copy()
+        for k in range(1, s + 1):
+            ref = A.matvec(ref)
+            np.testing.assert_allclose(
+                V.gather_column_to_host(k), ref, rtol=1e-13, atol=1e-13
+            )
+
+    def test_unsymmetric_matrix(self, rng):
+        A = random_sparse(50, 4.0, seed=9)
+        v0 = rng.standard_normal(50)
+        _, _, V = run_mpk(A, 2, 4, v0)
+        ref = v0.copy()
+        for k in range(1, 5):
+            ref = A.matvec(ref)
+            np.testing.assert_allclose(
+                V.gather_column_to_host(k), ref, rtol=1e-11, atol=1e-11
+            )
+
+    def test_kway_partition(self, rng):
+        A = g3_circuit(nx=14, ny=14)
+        part = kway_partition(A, 3)
+        v0 = rng.standard_normal(A.n_rows)
+        _, _, V = run_mpk(A, 3, 3, v0, partition=part)
+        ref = v0.copy()
+        for k in range(1, 4):
+            ref = A.matvec(ref)
+            np.testing.assert_allclose(
+                V.gather_column_to_host(k), ref, rtol=1e-12, atol=1e-12
+            )
+
+    def test_repeated_invocations(self, rng):
+        # MPK is called once per block within a restart loop; buffers must
+        # not leak state between invocations.
+        A = poisson2d(6)
+        ctx = MultiGpuContext(2)
+        part = block_row_partition(A.n_rows, 2)
+        mpk = MatrixPowersKernel(ctx, A, part, 2)
+        V = DistMultiVector(ctx, part, 5)
+        v0 = rng.standard_normal(A.n_rows)
+        V.set_column_from_host(0, v0)
+        mpk.run(V, 0)
+        mpk.run(V, 2)
+        ref = v0.copy()
+        for k in range(1, 5):
+            ref = A.matvec(ref)
+            np.testing.assert_allclose(
+                V.gather_column_to_host(k), ref, rtol=1e-12, atol=1e-12
+            )
+
+
+class TestNewtonBasis:
+    def test_real_shifts(self, rng):
+        A = poisson2d(6)
+        v0 = rng.standard_normal(A.n_rows)
+        ops = [ShiftOp("real", re=1.5), ShiftOp("real", re=-0.5), ShiftOp("real", re=2.0)]
+        _, _, V = run_mpk(A, 2, 3, v0, shift_ops=ops)
+        ref = v0.copy()
+        for op in ops:
+            ref = A.matvec(ref) - op.re * ref
+        np.testing.assert_allclose(
+            V.gather_column_to_host(3), ref, rtol=1e-12, atol=1e-12
+        )
+
+    def test_complex_pair(self, rng):
+        A = poisson2d(6)
+        v0 = rng.standard_normal(A.n_rows)
+        re, im = 1.2, 0.7
+        ops = [
+            ShiftOp("complex_first", re=re, im=im),
+            ShiftOp("complex_second", re=re, im=im),
+        ]
+        _, _, V = run_mpk(A, 3, 2, v0, shift_ops=ops)
+        v1 = A.matvec(v0) - re * v0
+        v2 = A.matvec(v1) - re * v1 + im**2 * v0
+        np.testing.assert_allclose(V.gather_column_to_host(1), v1, atol=1e-12)
+        np.testing.assert_allclose(V.gather_column_to_host(2), v2, atol=1e-12)
+
+    def test_complex_pair_spans_shifted_product(self, rng):
+        # (A - re)^2 + im^2 == (A - theta)(A - conj(theta)) applied to v0.
+        A = poisson2d(5)
+        v0 = rng.standard_normal(A.n_rows)
+        re, im = 0.9, 1.3
+        ops = [
+            ShiftOp("complex_first", re=re, im=im),
+            ShiftOp("complex_second", re=re, im=im),
+        ]
+        _, _, V = run_mpk(A, 1, 2, v0, shift_ops=ops)
+        dense = A.to_dense()
+        theta = complex(re, im)
+        M = (dense - theta * np.eye(dense.shape[0])) @ (
+            dense - np.conj(theta) * np.eye(dense.shape[0])
+        )
+        np.testing.assert_allclose(
+            V.gather_column_to_host(2), (M @ v0).real, atol=1e-11
+        )
+
+    def test_bad_pairing_rejected(self, rng):
+        A = poisson2d(4)
+        v0 = rng.standard_normal(A.n_rows)
+        with pytest.raises(ValueError, match="complex_first"):
+            run_mpk(A, 1, 2, v0, shift_ops=[
+                ShiftOp("complex_first", re=1.0, im=1.0),
+                ShiftOp("real", re=0.0),
+            ])
+        with pytest.raises(ValueError, match="dangling"):
+            run_mpk(A, 1, 1, v0, shift_ops=[ShiftOp("complex_first", re=1.0, im=1.0)])
+
+
+class TestCommunication:
+    def test_single_exchange_phase(self):
+        """MPK communicates once per invocation regardless of s."""
+        A = poisson2d(8)
+        for s in (1, 3, 6):
+            ctx = MultiGpuContext(3)
+            part = block_row_partition(A.n_rows, 3)
+            mpk = MatrixPowersKernel(ctx, A, part, s)
+            V = DistMultiVector(ctx, part, s + 1)
+            V.set_column_from_host(0, np.ones(A.n_rows))
+            ctx.counters.reset()
+            mpk.run(V, 0)
+            # at most one d2h + one h2d per device, independent of s
+            assert ctx.counters.d2h_messages <= 3
+            assert ctx.counters.h2d_messages <= 3
+
+    def test_boundary_grows_with_s(self):
+        A = poisson2d(10)
+        ctx = MultiGpuContext(2)
+        part = block_row_partition(A.n_rows, 2)
+        sizes = []
+        for s in (1, 2, 4):
+            mpk = MatrixPowersKernel(ctx, A, part, s)
+            sizes.append(sum(mpk.boundary_sizes()))
+        assert sizes[0] < sizes[1] < sizes[2]
+
+    def test_extra_nnz_positive_for_multi_gpu(self):
+        A = poisson2d(8)
+        ctx = MultiGpuContext(2)
+        part = block_row_partition(A.n_rows, 2)
+        mpk = MatrixPowersKernel(ctx, A, part, 3)
+        assert all(x >= 0 for x in mpk.extra_nnz())
+        assert sum(mpk.extra_nnz()) > 0
+
+    def test_errors(self):
+        A = poisson2d(4)
+        ctx = MultiGpuContext(1)
+        part = block_row_partition(A.n_rows, 1)
+        with pytest.raises(ValueError):
+            MatrixPowersKernel(ctx, A, part, 0)
+        mpk = MatrixPowersKernel(ctx, A, part, 2)
+        V = DistMultiVector(ctx, part, 2)  # too few columns
+        with pytest.raises(IndexError):
+            mpk.run(V, 0)
+        V3 = DistMultiVector(ctx, part, 3)
+        with pytest.raises(ValueError, match="shift ops"):
+            mpk.run(V3, 0, [ShiftOp("none")])

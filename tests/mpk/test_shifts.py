@@ -1,0 +1,123 @@
+"""Tests for Newton shifts and Leja ordering."""
+
+import numpy as np
+import pytest
+
+from repro.mpk.shifts import (
+    ShiftOp,
+    leja_order,
+    modified_leja_order,
+    monomial_shift_ops,
+    newton_shift_ops,
+)
+
+
+class TestLejaOrder:
+    def test_is_permutation(self):
+        pts = np.array([1.0, -2.0, 3.0, 0.5, -1.5], dtype=complex)
+        order = leja_order(pts)
+        np.testing.assert_array_equal(np.sort(order), np.arange(5))
+
+    def test_first_is_max_modulus(self):
+        pts = np.array([1.0, -5.0, 3.0], dtype=complex)
+        assert leja_order(pts)[0] == 1
+
+    def test_second_maximizes_distance(self):
+        pts = np.array([10.0, 9.9, -10.0], dtype=complex)
+        order = leja_order(pts)
+        # After 10 (or -10), the farthest point is the opposite extreme.
+        assert {order[0], order[1]} == {0, 2}
+
+    def test_empty(self):
+        assert leja_order(np.array([], dtype=complex)).size == 0
+
+    def test_single_point(self):
+        assert leja_order(np.array([2.0 + 1j])).tolist() == [0]
+
+    def test_consecutive_distances_large(self):
+        # Leja keeps consecutive points far apart compared to sorted order.
+        rng = np.random.default_rng(5)
+        pts = rng.standard_normal(20) + 0j
+        ordered = pts[leja_order(pts)]
+        leja_min_gap = np.abs(np.diff(ordered[:5])).min()
+        sorted_pts = np.sort_complex(pts)
+        sorted_min_gap = np.abs(np.diff(sorted_pts[:5])).min()
+        assert leja_min_gap > sorted_min_gap
+
+
+class TestModifiedLejaOrder:
+    def test_real_points_preserved(self):
+        pts = np.array([3.0, -1.0, 2.0], dtype=complex)
+        out = modified_leja_order(pts)
+        assert np.all(np.abs(out.imag) < 1e-12)
+        np.testing.assert_allclose(np.sort(out.real), [-1.0, 2.0, 3.0])
+
+    def test_conjugate_pairs_adjacent(self):
+        pts = np.array([2.0, 1.0 + 1j, 1.0 - 1j, -3.0], dtype=complex)
+        out = modified_leja_order(pts)
+        # find the complex entry: its conjugate must follow immediately
+        for i, z in enumerate(out):
+            if z.imag > 1e-12:
+                assert np.isclose(out[i + 1], np.conj(z))
+
+    def test_multiset_preserved(self):
+        pts = np.array([1 + 2j, 1 - 2j, 3.0, -0.5 + 1j, -0.5 - 1j], dtype=complex)
+        out = modified_leja_order(pts)
+        np.testing.assert_allclose(
+            np.sort_complex(out), np.sort_complex(pts), atol=1e-12
+        )
+
+    def test_empty(self):
+        assert modified_leja_order(np.array([], dtype=complex)).size == 0
+
+
+class TestNewtonShiftOps:
+    def test_real_only(self):
+        ops = newton_shift_ops(np.array([2.0, -1.0, 0.5]), 3)
+        assert len(ops) == 3
+        assert all(op.kind == "real" for op in ops)
+
+    def test_complex_pairs_expand(self):
+        ritz = np.array([1.0 + 1j, 1.0 - 1j, 2.0])
+        ops = newton_shift_ops(ritz, 3)
+        kinds = [op.kind for op in ops]
+        # a pair occupies two adjacent slots
+        if "complex_first" in kinds:
+            i = kinds.index("complex_first")
+            assert kinds[i + 1] == "complex_second"
+
+    def test_recycling_when_s_exceeds_count(self):
+        ops = newton_shift_ops(np.array([1.0]), 4)
+        assert len(ops) == 4
+        assert all(op.re == 1.0 for op in ops)
+
+    def test_pair_never_straddles_end(self):
+        ritz = np.array([1.0 + 2j, 1.0 - 2j])
+        ops = newton_shift_ops(ritz, 3)  # odd length with only a pair
+        assert len(ops) == 3
+        assert ops[-1].kind != "complex_first"
+
+    def test_empty_ritz_gives_monomial(self):
+        ops = newton_shift_ops(np.array([]), 2)
+        assert all(op.kind == "none" for op in ops)
+
+    def test_invalid_s(self):
+        with pytest.raises(ValueError):
+            newton_shift_ops(np.array([1.0]), 0)
+
+
+class TestMonomialShiftOps:
+    def test_length_and_kind(self):
+        ops = monomial_shift_ops(5)
+        assert len(ops) == 5
+        assert all(op.kind == "none" for op in ops)
+
+    def test_invalid_s(self):
+        with pytest.raises(ValueError):
+            monomial_shift_ops(0)
+
+
+class TestShiftOp:
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ValueError):
+            ShiftOp("bogus")

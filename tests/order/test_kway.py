@@ -1,0 +1,109 @@
+"""Tests for the k-way partitioner and recursive bisection."""
+
+import numpy as np
+import pytest
+
+from repro.matrices import g3_circuit, poisson2d
+from repro.order.kway import kway_partition, recursive_bisection, refine_partition
+from repro.order.partition import Partition, block_row_partition, edge_cut
+from repro.sparse.graph import adjacency_structure
+
+
+class TestKwayPartition:
+    @pytest.mark.parametrize("n_parts", [1, 2, 3, 4])
+    def test_covers_all_rows(self, n_parts):
+        A = poisson2d(8)
+        p = kway_partition(A, n_parts)
+        assert p.n_rows == A.n_rows
+        assert set(np.unique(p.assignment)) == set(range(n_parts))
+
+    def test_balanced(self):
+        A = poisson2d(10)
+        p = kway_partition(A, 3)
+        assert p.imbalance() <= 1.1
+
+    def test_beats_naive_split_on_scrambled_graph(self):
+        # The paper's motivation: KWY recovers locality the natural
+        # ordering lacks.
+        A = g3_circuit(nx=20, ny=20)
+        g = adjacency_structure(A)
+        kwy = kway_partition(A, 3)
+        naive = block_row_partition(A.n_rows, 3)
+        assert edge_cut(g, kwy) < edge_cut(g, naive) / 2
+
+    def test_grid_cut_reasonable(self):
+        A = poisson2d(12)
+        g = adjacency_structure(A)
+        p = kway_partition(A, 2)
+        # Optimal bisection of a 12x12 grid cuts 12 edges; allow slack.
+        assert edge_cut(g, p) <= 40
+
+    def test_single_part(self):
+        A = poisson2d(4)
+        p = kway_partition(A, 1)
+        assert np.all(p.assignment == 0)
+
+    def test_invalid_parts(self):
+        with pytest.raises(ValueError):
+            kway_partition(poisson2d(3), 0)
+
+    def test_deterministic(self):
+        A = poisson2d(7)
+        p1 = kway_partition(A, 3)
+        p2 = kway_partition(A, 3)
+        np.testing.assert_array_equal(p1.assignment, p2.assignment)
+
+
+class TestRefinePartition:
+    def test_reduces_or_keeps_cut(self):
+        A = poisson2d(10)
+        g = adjacency_structure(A)
+        rng = np.random.default_rng(0)
+        random_part = Partition(rng.integers(0, 2, A.n_rows), 2)
+        refined = refine_partition(g, random_part, passes=8)
+        assert edge_cut(g, refined) <= edge_cut(g, random_part)
+
+    def test_respects_balance(self):
+        A = poisson2d(10)
+        g = adjacency_structure(A)
+        p = block_row_partition(A.n_rows, 2)
+        refined = refine_partition(g, p, passes=8, balance_tol=1.05)
+        assert refined.imbalance() <= 1.06
+
+    def test_noop_on_perfect_partition(self):
+        # Two disconnected cliques already perfectly split.
+        dense = np.zeros((6, 6))
+        dense[:3, :3] = 1.0
+        dense[3:, 3:] = 1.0
+        from repro.sparse.csr import csr_from_dense
+
+        A = csr_from_dense(dense)
+        g = adjacency_structure(A)
+        p = Partition(np.array([0, 0, 0, 1, 1, 1]), 2)
+        refined = refine_partition(g, p)
+        np.testing.assert_array_equal(refined.assignment, p.assignment)
+
+
+class TestRecursiveBisection:
+    @pytest.mark.parametrize("n_parts", [2, 3, 4])
+    def test_covers_all_rows(self, n_parts):
+        A = poisson2d(8)
+        p = recursive_bisection(A, n_parts)
+        assert set(np.unique(p.assignment)) == set(range(n_parts))
+
+    def test_roughly_balanced(self):
+        A = poisson2d(9)
+        p = recursive_bisection(A, 3)
+        assert p.imbalance() <= 1.35
+
+    def test_cut_better_than_random(self):
+        A = g3_circuit(nx=16, ny=16)
+        g = adjacency_structure(A)
+        rb = recursive_bisection(A, 2)
+        rng = np.random.default_rng(1)
+        rand = Partition(rng.integers(0, 2, A.n_rows), 2)
+        assert edge_cut(g, rb) < edge_cut(g, rand)
+
+    def test_invalid_parts(self):
+        with pytest.raises(ValueError):
+            recursive_bisection(poisson2d(3), 0)

@@ -1,0 +1,113 @@
+"""Tests for Partition and block-row distribution."""
+
+import numpy as np
+import pytest
+
+from repro.matrices import poisson2d
+from repro.order.partition import (
+    Partition,
+    block_row_partition,
+    edge_cut,
+    partition_matrix,
+    partition_quality,
+)
+from repro.sparse.graph import adjacency_structure
+
+
+class TestPartition:
+    def test_rows_of_cover_all(self):
+        p = Partition(np.array([0, 1, 0, 2, 1]), 3)
+        all_rows = np.concatenate([p.rows_of(d) for d in range(3)])
+        np.testing.assert_array_equal(np.sort(all_rows), np.arange(5))
+
+    def test_rows_of_sorted(self):
+        p = Partition(np.array([1, 0, 1, 0]), 2)
+        np.testing.assert_array_equal(p.rows_of(1), [0, 2])
+
+    def test_rows_of_cached(self):
+        p = Partition(np.array([0, 0]), 1)
+        assert p.rows_of(0) is p.rows_of(0)
+
+    def test_part_sizes(self):
+        p = Partition(np.array([0, 1, 1, 1]), 2)
+        np.testing.assert_array_equal(p.part_sizes(), [1, 3])
+
+    def test_imbalance(self):
+        p = Partition(np.array([0, 1, 1, 1]), 2)
+        assert p.imbalance() == pytest.approx(1.5)
+
+    def test_labels_out_of_range(self):
+        with pytest.raises(ValueError, match="out of range"):
+            Partition(np.array([0, 3]), 2)
+
+    def test_n_parts_positive(self):
+        with pytest.raises(ValueError):
+            Partition(np.array([], dtype=np.int64), 0)
+
+    def test_rows_of_bad_part(self):
+        p = Partition(np.array([0]), 1)
+        with pytest.raises(ValueError):
+            p.rows_of(1)
+
+
+class TestBlockRowPartition:
+    def test_contiguous_blocks(self):
+        p = block_row_partition(10, 3)
+        assert np.all(np.diff(p.assignment) >= 0)  # non-decreasing labels
+
+    def test_balance(self):
+        p = block_row_partition(100, 3)
+        sizes = p.part_sizes()
+        assert sizes.max() - sizes.min() <= 1
+
+    def test_single_part(self):
+        p = block_row_partition(7, 1)
+        assert np.all(p.assignment == 0)
+
+    def test_more_parts_than_rows(self):
+        p = block_row_partition(2, 4)
+        assert p.part_sizes().sum() == 2
+
+    def test_invalid_args(self):
+        with pytest.raises(ValueError):
+            block_row_partition(5, 0)
+        with pytest.raises(ValueError):
+            block_row_partition(-1, 2)
+
+
+class TestPartitionMatrix:
+    def test_blocks_reassemble(self):
+        A = poisson2d(5)
+        p = block_row_partition(A.n_rows, 3)
+        blocks = partition_matrix(A, p)
+        dense = A.to_dense()
+        for rows, local in blocks:
+            np.testing.assert_array_equal(local.to_dense(), dense[rows])
+
+    def test_size_mismatch(self):
+        A = poisson2d(3)
+        with pytest.raises(ValueError):
+            partition_matrix(A, block_row_partition(5, 2))
+
+
+class TestEdgeCut:
+    def test_no_cut_single_part(self):
+        A = poisson2d(4)
+        g = adjacency_structure(A)
+        assert edge_cut(g, block_row_partition(A.n_rows, 1)) == 0
+
+    def test_grid_cut_known(self):
+        # 4x4 grid split into two 8-row halves along the first axis:
+        # the cut is the 4 edges between row 1 and row 2 of the grid.
+        A = poisson2d(4)
+        g = adjacency_structure(A)
+        assert edge_cut(g, block_row_partition(16, 2)) == 4
+
+    def test_quality_report_keys(self):
+        A = poisson2d(4)
+        g = adjacency_structure(A)
+        q = partition_quality(g, block_row_partition(16, 2))
+        assert q["edge_cut"] == 4
+        assert q["imbalance"] == pytest.approx(1.0)
+        assert q["boundary_vertices"] == 8
+        assert q["part_sizes"] == [8, 8]

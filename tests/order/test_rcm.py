@@ -1,0 +1,80 @@
+"""Tests for reverse Cuthill-McKee."""
+
+import numpy as np
+import pytest
+
+from repro.matrices import poisson2d, g3_circuit
+from repro.order.rcm import matrix_bandwidth, rcm
+from repro.sparse.csr import csr_from_dense, eye_csr
+
+
+class TestRcmBasics:
+    def test_is_permutation(self):
+        A = poisson2d(6)
+        perm = rcm(A)
+        np.testing.assert_array_equal(np.sort(perm), np.arange(A.n_rows))
+
+    def test_preserves_symmetry(self):
+        A = poisson2d(5)
+        P = A.permute(rcm(A))
+        np.testing.assert_allclose(P.to_dense(), P.to_dense().T)
+
+    def test_identity_matrix(self):
+        perm = rcm(eye_csr(4))
+        np.testing.assert_array_equal(np.sort(perm), np.arange(4))
+
+    def test_explicit_start(self):
+        A = poisson2d(4)
+        perm = rcm(A, start=0)
+        assert perm.size == 16
+        # Reversed CM: the start vertex ends up last.
+        assert perm[-1] == 0
+
+    def test_start_out_of_range(self):
+        with pytest.raises(ValueError):
+            rcm(poisson2d(3), start=100)
+
+    def test_disconnected_graph_covered(self):
+        dense = np.zeros((6, 6))
+        dense[0, 1] = dense[1, 0] = 1.0
+        dense[3, 4] = dense[4, 3] = 1.0
+        perm = rcm(csr_from_dense(dense + np.eye(6)))
+        np.testing.assert_array_equal(np.sort(perm), np.arange(6))
+
+
+class TestBandwidthReduction:
+    def test_scrambled_grid_bandwidth_reduced(self):
+        rng = np.random.default_rng(3)
+        A = poisson2d(12)
+        scrambled = A.permute(rng.permutation(A.n_rows))
+        before = matrix_bandwidth(scrambled)
+        after = matrix_bandwidth(scrambled.permute(rcm(scrambled)))
+        assert after < before / 3
+
+    def test_circuit_analog_bandwidth_reduced(self):
+        A = g3_circuit(nx=24, ny=24)
+        before = matrix_bandwidth(A)
+        after = matrix_bandwidth(A.permute(rcm(A)))
+        assert after < before
+
+    def test_path_graph_optimal(self):
+        # A path has bandwidth 1 under CM ordering.
+        n = 10
+        dense = np.eye(n) * 2
+        for i in range(n - 1):
+            dense[i, i + 1] = dense[i + 1, i] = -1.0
+        rng = np.random.default_rng(0)
+        scrambled = csr_from_dense(dense).permute(rng.permutation(n))
+        assert matrix_bandwidth(scrambled.permute(rcm(scrambled))) == 1
+
+
+class TestMatrixBandwidth:
+    def test_diagonal(self):
+        assert matrix_bandwidth(eye_csr(5)) == 0
+
+    def test_empty(self):
+        assert matrix_bandwidth(csr_from_dense(np.zeros((3, 3)))) == 0
+
+    def test_tridiagonal(self):
+        dense = np.eye(4) + np.eye(4, k=1)
+        assert matrix_bandwidth(csr_from_dense(dense)) == 1

@@ -1,0 +1,68 @@
+"""Tests for autotuned kernel selection in TSQR (variant="auto")."""
+
+import numpy as np
+import pytest
+
+from repro.gpu.context import MultiGpuContext
+from repro.orth.tsqr import _resolve_auto_variant, tsqr
+
+from ..conftest import gather_multivector, make_dist_multivector
+
+
+class TestAutoVariant:
+    def test_cholqr_auto_picks_batched_for_wide_panels(self):
+        ctx = MultiGpuContext(3)
+        assert _resolve_auto_variant(ctx, "cholqr", 300_000, 30) == "batched"
+
+    def test_cgs_auto_picks_magma(self):
+        ctx = MultiGpuContext(2)
+        assert _resolve_auto_variant(ctx, "cgs", 300_000, 20) == "magma"
+
+    def test_mgs_auto_falls_back_to_only_variant(self):
+        ctx = MultiGpuContext(1)
+        assert _resolve_auto_variant(ctx, "mgs", 10_000, 5) == "cublas"
+
+    @pytest.mark.parametrize("method", ["cholqr", "cgs", "svqr", "mgs", "caqr"])
+    def test_auto_numerically_identical_to_default(self, method, rng):
+        V = rng.standard_normal((60, 6))
+        results = {}
+        for variant in (None, "auto"):
+            ctx = MultiGpuContext(2)
+            mv, _ = make_dist_multivector(ctx, V.copy())
+            R = tsqr(ctx, mv.panel(0, 6), method=method, variant=variant)
+            results[variant] = (gather_multivector(mv), R)
+        np.testing.assert_allclose(results[None][1], results["auto"][1], atol=1e-12)
+        np.testing.assert_allclose(results[None][0], results["auto"][0], atol=1e-12)
+
+    def test_solver_accepts_auto(self):
+        from repro.core.ca_gmres import ca_gmres
+        from repro.matrices import poisson2d
+
+        A = poisson2d(10)
+        r = ca_gmres(
+            A, np.ones(A.n_rows), s=5, m=10, tol=1e-6,
+            tsqr_method="cholqr", tsqr_variant="auto",
+        )
+        assert r.converged
+
+
+class TestDriverInputValidation:
+    def test_gmres_rejects_nan_rhs(self):
+        from repro.core.gmres import gmres
+        from repro.matrices import poisson2d
+
+        A = poisson2d(4)
+        b = np.ones(16)
+        b[3] = np.nan
+        with pytest.raises(ValueError, match="non-finite"):
+            gmres(A, b, m=4)
+
+    def test_ca_gmres_rejects_inf_rhs(self):
+        from repro.core.ca_gmres import ca_gmres
+        from repro.matrices import poisson2d
+
+        A = poisson2d(4)
+        b = np.ones(16)
+        b[0] = np.inf
+        with pytest.raises(ValueError, match="non-finite"):
+            ca_gmres(A, b, s=2, m=4)

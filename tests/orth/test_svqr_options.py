@@ -1,0 +1,76 @@
+"""Tests for SVQR's options and the Gram-methods' variant plumbing."""
+
+import numpy as np
+import pytest
+
+from repro.gpu.context import MultiGpuContext
+from repro.matrices.random_sparse import well_conditioned_tall_skinny
+from repro.orth.errors import OrthogonalizationError
+from repro.orth.svqr import tsqr_svqr
+from repro.orth.cholqr import tsqr_cholqr
+
+from ..conftest import gather_multivector, make_dist_multivector
+
+
+def run(fn, V, **kwargs):
+    ctx = MultiGpuContext(2)
+    mv, _ = make_dist_multivector(ctx, V.copy())
+    R = fn(ctx, mv.panel(0, V.shape[1]), **kwargs)
+    return gather_multivector(mv), R
+
+
+class TestSvqrOptions:
+    def test_scaling_improves_elementwise_behavior(self, rng):
+        """The paper's [20] fix: diagonal scaling of the Gram matrix."""
+        # Badly column-scaled panel: without Gram scaling the SVD mixes
+        # scales and the factorization error of small columns degrades.
+        V = well_conditioned_tall_skinny(400, 6, condition=100.0, seed=2)
+        V = V * np.geomspace(1.0, 1e6, 6)[None, :]
+        Q_scaled, R_scaled = run(tsqr_svqr, V, scale_gram=True)
+        Q_raw, R_raw = run(tsqr_svqr, V, scale_gram=False)
+        def col_err(Q, R):
+            E = V - Q @ R
+            return np.max(
+                np.linalg.norm(E, axis=0) / np.linalg.norm(V, axis=0)
+            )
+        assert col_err(Q_scaled, R_scaled) <= 10 * col_err(Q_raw, R_raw)
+        # And the scaled variant reconstructs each column to high accuracy.
+        assert col_err(Q_scaled, R_scaled) < 1e-10
+
+    def test_clamp_controls_rank_deficiency(self, rng):
+        V = rng.standard_normal((60, 4))
+        V[:, 3] = 2.0 * V[:, 1]  # exactly dependent
+        Q, R = run(tsqr_svqr, V, clamp=1e-13)
+        assert np.all(np.isfinite(Q)) and np.all(np.isfinite(R))
+        np.testing.assert_allclose(Q @ R, V, atol=1e-9)
+
+    def test_zero_column_rejected(self):
+        V = np.zeros((20, 3))
+        V[:, 0] = 1.0
+        with pytest.raises(OrthogonalizationError, match="non-positive"):
+            run(tsqr_svqr, V)
+
+    def test_cublas_variant_same_numbers(self, rng):
+        V = rng.standard_normal((50, 5))
+        _, R_batched = run(tsqr_svqr, V, variant="batched")
+        _, R_cublas = run(tsqr_svqr, V, variant="cublas")
+        np.testing.assert_allclose(R_batched, R_cublas, atol=1e-12)
+
+
+class TestCholqrVariants:
+    def test_cublas_variant_same_numbers(self, rng):
+        V = rng.standard_normal((50, 5))
+        _, R_a = run(tsqr_cholqr, V, variant="batched")
+        _, R_b = run(tsqr_cholqr, V, variant="cublas")
+        np.testing.assert_allclose(R_a, R_b, atol=1e-12)
+
+    def test_cublas_variant_slower_in_model(self, rng):
+        V = rng.standard_normal((200_000, 30))
+        times = {}
+        for variant in ("batched", "cublas"):
+            ctx = MultiGpuContext(1)
+            mv, _ = make_dist_multivector(ctx, V.copy())
+            ctx.reset_clocks()
+            tsqr_cholqr(ctx, mv.panel(0, 30), variant=variant)
+            times[variant] = ctx.current_time()
+        assert times["cublas"] > 1.5 * times["batched"]

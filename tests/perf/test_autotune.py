@@ -1,0 +1,98 @@
+"""Tests for the kernel autotuner."""
+
+import pytest
+
+from repro.perf.autotune import KernelAutotuner
+from repro.perf.kernels import KERNEL_TABLE
+
+
+class TestKernelAutotuner:
+    @pytest.fixture
+    def tuner(self):
+        return KernelAutotuner()
+
+    def test_candidates_are_device_variants(self, tuner):
+        cands = tuner.candidates("gemm_tn")
+        assert "batched" in cands and "cublas" in cands
+        assert "mkl" not in cands  # host variant excluded
+        assert "batched_sp" not in cands  # changes numerics
+
+    def test_wide_gram_prefers_batched(self, tuner):
+        assert tuner.best_variant("gemm_tn", n=500_000, k=30, j=30) == "batched"
+
+    def test_gemv_prefers_magma(self, tuner):
+        assert tuner.best_variant("gemv_t", n=500_000, k=30) == "magma"
+
+    def test_best_is_actually_fastest(self, tuner):
+        shape = dict(n=300_000, k=8, j=8)
+        best = tuner.best_variant("gemm_tn", **shape)
+        gpu = tuner.machine.gpu
+        times = {
+            v: KERNEL_TABLE[("gemm_tn", v)].time(
+                gpu.peak_gflops * 1e9, gpu.mem_bandwidth, gpu.kernel_overhead,
+                **shape,
+            )
+            for v in tuner.candidates("gemm_tn")
+        }
+        assert times[best] == min(times.values())
+
+    def test_decision_cached(self, tuner):
+        a = tuner.best_variant("gemv_t", n=1000, k=4)
+        assert ("gemv_t", (("k", 4), ("n", 1000))) in tuner._cache
+        assert tuner.best_variant("gemv_t", n=1000, k=4) == a
+
+    def test_unknown_op(self, tuner):
+        with pytest.raises(KeyError):
+            tuner.best_variant("warp_drive", n=10)
+
+    def test_tuning_table(self, tuner):
+        shapes = [dict(n=100_000, k=k, j=k) for k in (2, 10, 30)]
+        rows = tuner.tuning_table("gemm_tn", shapes)
+        assert len(rows) == 3
+        for shape, variant, t in rows:
+            assert variant in tuner.candidates("gemm_tn")
+            assert t > 0
+
+
+class TestMemoryAccounting:
+    def test_mpk_memory_grows_with_s(self):
+        import numpy as np
+        from repro.gpu.context import MultiGpuContext
+        from repro.matrices import poisson2d
+        from repro.mpk import MatrixPowersKernel
+        from repro.order.partition import block_row_partition
+
+        A = poisson2d(12)
+        ctx = MultiGpuContext(2)
+        part = block_row_partition(A.n_rows, 2)
+        mem = [
+            sum(MatrixPowersKernel(ctx, A, part, s).device_memory_bytes())
+            for s in (1, 4, 8)
+        ]
+        assert mem[0] < mem[1] < mem[2]
+
+    def test_mpk_fits_on_m2090(self):
+        from repro.gpu.context import MultiGpuContext
+        from repro.matrices import poisson2d
+        from repro.mpk import MatrixPowersKernel
+        from repro.order.partition import block_row_partition
+
+        A = poisson2d(12)
+        ctx = MultiGpuContext(2)
+        part = block_row_partition(A.n_rows, 2)
+        mpk = MatrixPowersKernel(ctx, A, part, 5)
+        for per_device in mpk.device_memory_bytes():
+            assert per_device < ctx.machine.gpu.memory_bytes
+
+    def test_dist_matrix_memory_reported(self):
+        from repro.dist.matrix import DistributedMatrix
+        from repro.gpu.context import MultiGpuContext
+        from repro.matrices import poisson2d
+        from repro.order.partition import block_row_partition
+
+        A = poisson2d(10)
+        ctx = MultiGpuContext(2)
+        dmat = DistributedMatrix(ctx, A, block_row_partition(A.n_rows, 2))
+        mem = dmat.device_memory_bytes()
+        assert len(mem) == 2
+        assert all(m > 0 for m in mem)

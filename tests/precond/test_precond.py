@@ -1,0 +1,168 @@
+"""Tests for the preconditioning package."""
+
+import numpy as np
+import pytest
+
+from repro.core.ca_gmres import ca_gmres
+from repro.core.gmres import gmres
+from repro.matrices import poisson2d
+from repro.precond.block_jacobi import BlockJacobiPreconditioner
+from repro.precond.jacobi import JacobiPreconditioner
+from repro.sparse.csr import csr_from_dense
+
+
+def badly_scaled_spd(n=100, seed=0):
+    """SPD matrix with wildly varying diagonal — Jacobi's sweet spot."""
+    rng = np.random.default_rng(seed)
+    A = poisson2d(int(np.sqrt(n)))
+    scales = np.geomspace(1.0, 1e5, A.n_rows)
+    # Symmetric scaling keeps SPD but ruins conditioning.
+    return A.scale_rows(scales).scale_cols(scales)
+
+
+class TestJacobi:
+    def test_fold_is_column_scaling(self, rng):
+        dense = rng.standard_normal((6, 6)) + 6 * np.eye(6)
+        A = csr_from_dense(dense)
+        pre = JacobiPreconditioner(A)
+        folded = pre.fold(A).to_dense()
+        np.testing.assert_allclose(folded, dense / np.diag(dense)[None, :], atol=1e-14)
+
+    def test_fold_preserves_sparsity(self):
+        A = poisson2d(6)
+        pre = JacobiPreconditioner(A)
+        assert pre.fold(A).nnz == A.nnz
+
+    def test_recover_inverts_fold(self, rng):
+        dense = rng.standard_normal((5, 5)) + 5 * np.eye(5)
+        A = csr_from_dense(dense)
+        pre = JacobiPreconditioner(A)
+        x_true = rng.standard_normal(5)
+        b = dense @ x_true
+        y = np.linalg.solve(pre.fold(A).to_dense(), b)
+        np.testing.assert_allclose(pre.recover(y), x_true, atol=1e-10)
+
+    def test_zero_diagonal_survives(self):
+        A = csr_from_dense(np.array([[0.0, 1.0], [1.0, 0.0]]))
+        pre = JacobiPreconditioner(A)
+        assert np.all(pre.diagonal == 1.0)
+
+    def test_requires_square(self):
+        with pytest.raises(ValueError):
+            JacobiPreconditioner(csr_from_dense(np.ones((2, 3))))
+
+
+class TestBlockJacobi:
+    def test_fold_solution_consistency(self, rng):
+        dense = rng.standard_normal((12, 12)) + 12 * np.eye(12)
+        A = csr_from_dense(dense)
+        pre = BlockJacobiPreconditioner(A, block_size=4)
+        x_true = rng.standard_normal(12)
+        b = dense @ x_true
+        y = np.linalg.solve(pre.fold(A).to_dense(), b)
+        np.testing.assert_allclose(pre.recover(y), x_true, atol=1e-9)
+
+    def test_fold_matches_dense_formula(self, rng):
+        dense = rng.standard_normal((9, 9)) + 9 * np.eye(9)
+        A = csr_from_dense(dense)
+        pre = BlockJacobiPreconditioner(A, block_size=3)
+        Minv = np.zeros((9, 9))
+        for b0 in range(0, 9, 3):
+            Minv[b0 : b0 + 3, b0 : b0 + 3] = np.linalg.inv(dense[b0 : b0 + 3, b0 : b0 + 3])
+        np.testing.assert_allclose(pre.fold(A).to_dense(), dense @ Minv, atol=1e-10)
+
+    def test_ragged_final_block(self, rng):
+        dense = rng.standard_normal((10, 10)) + 10 * np.eye(10)
+        A = csr_from_dense(dense)
+        pre = BlockJacobiPreconditioner(A, block_size=4)  # blocks 4, 4, 2
+        assert pre.n_blocks == 3
+        y = rng.standard_normal(10)
+        x = pre.recover(y)
+        assert x.shape == (10,)
+
+    def test_block_size_one_equals_jacobi(self, rng):
+        dense = rng.standard_normal((6, 6)) + 6 * np.eye(6)
+        A = csr_from_dense(dense)
+        bj = BlockJacobiPreconditioner(A, block_size=1)
+        jac = JacobiPreconditioner(A)
+        np.testing.assert_allclose(
+            bj.fold(A).to_dense(), jac.fold(A).to_dense(), atol=1e-12
+        )
+
+    def test_singular_block_regularized(self):
+        dense = np.array([[0.0, 0.0, 1.0], [0.0, 0.0, 2.0], [1.0, 2.0, 3.0]])
+        A = csr_from_dense(dense + 1e-30 * np.eye(3))
+        pre = BlockJacobiPreconditioner(A, block_size=2)
+        # The leading 2x2 block is singular; regularization must cope.
+        assert np.all(np.isfinite(pre.recover(np.ones(3))))
+
+    def test_validation(self):
+        A = poisson2d(3)
+        with pytest.raises(ValueError):
+            BlockJacobiPreconditioner(A, block_size=0)
+        pre = BlockJacobiPreconditioner(A, block_size=3)
+        with pytest.raises(ValueError):
+            pre.recover(np.ones(5))
+        with pytest.raises(ValueError):
+            pre.fold(poisson2d(4))
+
+
+class TestPreconditionedSolvers:
+    def test_gmres_jacobi_reduces_iterations(self):
+        A = badly_scaled_spd()
+        b = np.ones(A.n_rows)
+        plain = gmres(A, b, m=20, tol=1e-8, balance=False, max_restarts=200)
+        pre = gmres(
+            A, b, m=20, tol=1e-8, balance=False, max_restarts=200,
+            preconditioner=JacobiPreconditioner(A),
+        )
+        assert pre.converged
+        assert pre.n_iterations < plain.n_iterations
+
+    def test_gmres_preconditioned_solution_correct(self, rng):
+        A = poisson2d(10)
+        x_true = rng.standard_normal(A.n_rows)
+        b = A.matvec(x_true)
+        r = gmres(
+            A, b, m=25, tol=1e-10, max_restarts=100,
+            preconditioner=BlockJacobiPreconditioner(A, block_size=10),
+        )
+        assert r.converged
+        np.testing.assert_allclose(r.x, x_true, atol=1e-6)
+
+    def test_ca_gmres_with_preconditioner(self, rng):
+        A = poisson2d(12)
+        x_true = rng.standard_normal(A.n_rows)
+        b = A.matvec(x_true)
+        r = ca_gmres(
+            A, b, s=6, m=18, tol=1e-10, max_restarts=100,
+            preconditioner=BlockJacobiPreconditioner(A, block_size=12),
+        )
+        assert r.converged
+        np.testing.assert_allclose(r.x, x_true, atol=1e-6)
+
+    def test_block_jacobi_beats_plain_on_block_structured(self):
+        """Block Jacobi accelerates a matrix with strong diagonal blocks."""
+        rng = np.random.default_rng(3)
+        n, bs = 120, 6
+        dense = 0.05 * rng.standard_normal((n, n))
+        for b0 in range(0, n, bs):
+            block = rng.standard_normal((bs, bs))
+            dense[b0 : b0 + bs, b0 : b0 + bs] = block @ block.T + bs * np.eye(bs)
+        A = csr_from_dense(dense)
+        b = np.ones(n)
+        plain = gmres(A, b, m=20, tol=1e-8, balance=False, max_restarts=100)
+        pre = gmres(
+            A, b, m=20, tol=1e-8, balance=False, max_restarts=100,
+            preconditioner=BlockJacobiPreconditioner(A, block_size=bs),
+        )
+        assert pre.converged
+        assert pre.n_iterations < plain.n_iterations
+
+    def test_x0_with_preconditioner_rejected(self):
+        A = poisson2d(4)
+        with pytest.raises(ValueError, match="x0 with a preconditioner"):
+            gmres(
+                A, np.ones(16), m=8, x0=np.zeros(16),
+                preconditioner=JacobiPreconditioner(A),
+            )

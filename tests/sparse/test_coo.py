@@ -1,0 +1,73 @@
+"""Tests for the COO builder."""
+
+import numpy as np
+import pytest
+
+from repro.sparse.coo import CooBuilder, CooMatrix
+
+
+class TestCooMatrix:
+    def test_empty(self):
+        coo = CooMatrix((3, 4))
+        assert coo.nnz == 0
+        csr = coo.to_csr()
+        assert csr.shape == (3, 4)
+        assert csr.nnz == 0
+
+    def test_basic_to_csr(self):
+        coo = CooMatrix((2, 2), [0, 1, 1], [1, 0, 1], [2.0, 3.0, 4.0])
+        dense = coo.to_csr().to_dense()
+        np.testing.assert_array_equal(dense, [[0.0, 2.0], [3.0, 4.0]])
+
+    def test_duplicates_are_summed(self):
+        coo = CooMatrix((2, 2), [0, 0, 0], [0, 0, 1], [1.0, 2.5, 4.0])
+        dense = coo.to_csr().to_dense()
+        np.testing.assert_array_equal(dense, [[3.5, 4.0], [0.0, 0.0]])
+
+    def test_to_dense_matches_to_csr(self):
+        rng = np.random.default_rng(0)
+        rows = rng.integers(0, 7, 40)
+        cols = rng.integers(0, 5, 40)
+        vals = rng.standard_normal(40)
+        coo = CooMatrix((7, 5), rows, cols, vals)
+        np.testing.assert_allclose(coo.to_dense(), coo.to_csr().to_dense())
+
+    def test_csr_indices_sorted_within_rows(self):
+        coo = CooMatrix((1, 5), [0, 0, 0], [4, 0, 2], [1.0, 2.0, 3.0])
+        csr = coo.to_csr()
+        np.testing.assert_array_equal(csr.indices, [0, 2, 4])
+
+    def test_rejects_out_of_range_row(self):
+        with pytest.raises(ValueError, match="row index"):
+            CooMatrix((2, 2), [2], [0], [1.0])
+
+    def test_rejects_out_of_range_col(self):
+        with pytest.raises(ValueError, match="column index"):
+            CooMatrix((2, 2), [0], [5], [1.0])
+
+    def test_rejects_length_mismatch(self):
+        with pytest.raises(ValueError, match="equal lengths"):
+            CooMatrix((2, 2), [0, 1], [0], [1.0])
+
+    def test_rejects_negative_index(self):
+        with pytest.raises(ValueError):
+            CooMatrix((2, 2), [-1], [0], [1.0])
+
+
+class TestCooBuilder:
+    def test_build_empty(self):
+        assert CooBuilder((3, 3)).build().nnz == 0
+
+    def test_broadcast_scalar_value(self):
+        b = CooBuilder((3, 3))
+        b.add(np.arange(3), np.arange(3), 7.0)
+        dense = b.build().to_csr().to_dense()
+        np.testing.assert_array_equal(np.diag(dense), [7.0, 7.0, 7.0])
+
+    def test_chunks_concatenate(self):
+        b = CooBuilder((2, 2))
+        b.add(0, 0, 1.0)
+        b.add(1, 1, 2.0)
+        b.add(0, 0, 3.0)  # duplicate, summed at conversion
+        dense = b.build().to_csr().to_dense()
+        np.testing.assert_array_equal(dense, [[4.0, 0.0], [0.0, 2.0]])

@@ -1,0 +1,115 @@
+"""Tests for adjacency-graph utilities."""
+
+import numpy as np
+import pytest
+
+from repro.matrices import poisson2d
+from repro.sparse.csr import csr_from_dense, eye_csr
+from repro.sparse.graph import (
+    adjacency_structure,
+    bfs_levels,
+    connected_components,
+    pseudo_peripheral_node,
+    symmetrize_structure,
+)
+
+
+def path_graph(n):
+    """Adjacency of a path 0-1-2-...-(n-1)."""
+    dense = np.zeros((n, n))
+    for i in range(n - 1):
+        dense[i, i + 1] = dense[i + 1, i] = 1.0
+    return csr_from_dense(dense)
+
+
+class TestAdjacency:
+    def test_symmetrize_makes_symmetric(self):
+        A = csr_from_dense(np.array([[0.0, 1.0], [0.0, 0.0]]))
+        S = symmetrize_structure(A).to_dense()
+        np.testing.assert_array_equal(S, S.T)
+        assert S[1, 0] == 1.0
+
+    def test_adjacency_drops_diagonal(self):
+        A = csr_from_dense(np.array([[5.0, 1.0], [1.0, 5.0]]))
+        adj = adjacency_structure(A).to_dense()
+        np.testing.assert_array_equal(np.diag(adj), [0.0, 0.0])
+
+    def test_adjacency_keep_diagonal(self):
+        A = eye_csr(3)
+        adj = adjacency_structure(A, drop_diagonal=False).to_dense()
+        np.testing.assert_array_equal(adj, np.eye(3))
+
+    def test_requires_square(self):
+        A = csr_from_dense(np.zeros((2, 3)))
+        with pytest.raises(ValueError, match="square"):
+            adjacency_structure(A)
+
+    def test_values_are_one(self):
+        A = poisson2d(4)
+        adj = adjacency_structure(A)
+        assert set(np.unique(adj.data)) == {1.0}
+
+
+class TestBfs:
+    def test_path_levels(self):
+        g = path_graph(5)
+        np.testing.assert_array_equal(bfs_levels(g, 0), [0, 1, 2, 3, 4])
+
+    def test_middle_root(self):
+        g = path_graph(5)
+        np.testing.assert_array_equal(bfs_levels(g, 2), [2, 1, 0, 1, 2])
+
+    def test_unreachable_marked(self):
+        dense = np.zeros((4, 4))
+        dense[0, 1] = dense[1, 0] = 1.0
+        g = csr_from_dense(dense)
+        levels = bfs_levels(g, 0)
+        assert levels[2] == -1 and levels[3] == -1
+
+    def test_root_out_of_range(self):
+        with pytest.raises(ValueError):
+            bfs_levels(path_graph(3), 5)
+
+    def test_grid_levels_are_manhattan(self):
+        A = poisson2d(5)
+        g = adjacency_structure(A)
+        levels = bfs_levels(g, 0).reshape(5, 5)
+        i, j = np.meshgrid(np.arange(5), np.arange(5), indexing="ij")
+        np.testing.assert_array_equal(levels, i + j)
+
+
+class TestPseudoPeripheral:
+    def test_path_endpoint(self):
+        g = path_graph(9)
+        node = pseudo_peripheral_node(g, start=4)
+        assert node in (0, 8)
+
+    def test_already_peripheral(self):
+        g = path_graph(5)
+        assert pseudo_peripheral_node(g, start=0) in (0, 4)
+
+    def test_empty_raises(self):
+        g = csr_from_dense(np.zeros((0, 0)))
+        with pytest.raises(ValueError):
+            pseudo_peripheral_node(g)
+
+
+class TestConnectedComponents:
+    def test_single_component(self):
+        g = path_graph(6)
+        labels = connected_components(g)
+        assert len(set(labels.tolist())) == 1
+
+    def test_two_components(self):
+        dense = np.zeros((4, 4))
+        dense[0, 1] = dense[1, 0] = 1.0
+        dense[2, 3] = dense[3, 2] = 1.0
+        labels = connected_components(csr_from_dense(dense))
+        assert labels[0] == labels[1]
+        assert labels[2] == labels[3]
+        assert labels[0] != labels[2]
+
+    def test_isolated_vertices(self):
+        g = csr_from_dense(np.zeros((3, 3)))
+        labels = connected_components(g)
+        assert len(set(labels.tolist())) == 3

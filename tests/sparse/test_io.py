@@ -1,0 +1,120 @@
+"""Tests for Matrix Market I/O."""
+
+import gzip
+
+import numpy as np
+import pytest
+
+from repro.sparse.coo import CooMatrix
+from repro.sparse.io import read_matrix_market, write_matrix_market
+
+
+def random_csr(n, nnz, seed=0):
+    rng = np.random.default_rng(seed)
+    return CooMatrix(
+        (n, n),
+        rng.integers(0, n, nnz),
+        rng.integers(0, n, nnz),
+        rng.standard_normal(nnz),
+    ).to_csr()
+
+
+class TestRoundtrip:
+    def test_write_read(self, tmp_path):
+        A = random_csr(8, 20, seed=1)
+        path = tmp_path / "a.mtx"
+        write_matrix_market(path, A, comment="test matrix")
+        B = read_matrix_market(path)
+        np.testing.assert_allclose(B.to_dense(), A.to_dense(), atol=1e-15)
+
+    def test_gzipped_roundtrip(self, tmp_path):
+        A = random_csr(5, 10, seed=2)
+        path = tmp_path / "a.mtx.gz"
+        write_matrix_market(path, A)
+        B = read_matrix_market(path)
+        np.testing.assert_allclose(B.to_dense(), A.to_dense(), atol=1e-15)
+        with gzip.open(path, "rt") as fh:
+            assert fh.readline().startswith("%%MatrixMarket")
+
+
+class TestReadFormats:
+    def test_symmetric_expansion(self, tmp_path):
+        path = tmp_path / "sym.mtx"
+        path.write_text(
+            "%%MatrixMarket matrix coordinate real symmetric\n"
+            "3 3 3\n"
+            "1 1 2.0\n"
+            "2 1 -1.0\n"
+            "3 3 4.0\n"
+        )
+        A = read_matrix_market(path).to_dense()
+        expected = np.array([[2.0, -1.0, 0.0], [-1.0, 0.0, 0.0], [0.0, 0.0, 4.0]])
+        np.testing.assert_array_equal(A, expected)
+
+    def test_skew_symmetric(self, tmp_path):
+        path = tmp_path / "skew.mtx"
+        path.write_text(
+            "%%MatrixMarket matrix coordinate real skew-symmetric\n"
+            "2 2 1\n"
+            "2 1 3.0\n"
+        )
+        A = read_matrix_market(path).to_dense()
+        np.testing.assert_array_equal(A, [[0.0, -3.0], [3.0, 0.0]])
+
+    def test_pattern(self, tmp_path):
+        path = tmp_path / "pat.mtx"
+        path.write_text(
+            "%%MatrixMarket matrix coordinate pattern general\n"
+            "2 2 2\n"
+            "1 2\n"
+            "2 1\n"
+        )
+        A = read_matrix_market(path).to_dense()
+        np.testing.assert_array_equal(A, [[0.0, 1.0], [1.0, 0.0]])
+
+    def test_comments_skipped(self, tmp_path):
+        path = tmp_path / "c.mtx"
+        path.write_text(
+            "%%MatrixMarket matrix coordinate real general\n"
+            "% a comment\n"
+            "% another\n"
+            "1 1 1\n"
+            "1 1 5.0\n"
+        )
+        A = read_matrix_market(path).to_dense()
+        np.testing.assert_array_equal(A, [[5.0]])
+
+    def test_array_format(self, tmp_path):
+        path = tmp_path / "arr.mtx"
+        # Array format is column-major.
+        path.write_text(
+            "%%MatrixMarket matrix array real general\n"
+            "2 2\n"
+            "1.0\n3.0\n2.0\n4.0\n"
+        )
+        A = read_matrix_market(path).to_dense()
+        np.testing.assert_array_equal(A, [[1.0, 2.0], [3.0, 4.0]])
+
+
+class TestReadErrors:
+    def test_bad_header(self, tmp_path):
+        path = tmp_path / "bad.mtx"
+        path.write_text("not a matrix market file\n")
+        with pytest.raises(ValueError, match="bad header"):
+            read_matrix_market(path)
+
+    def test_complex_rejected(self, tmp_path):
+        path = tmp_path / "cplx.mtx"
+        path.write_text(
+            "%%MatrixMarket matrix coordinate complex general\n1 1 1\n1 1 1.0 0.0\n"
+        )
+        with pytest.raises(ValueError, match="complex"):
+            read_matrix_market(path)
+
+    def test_truncated_entries(self, tmp_path):
+        path = tmp_path / "trunc.mtx"
+        path.write_text(
+            "%%MatrixMarket matrix coordinate real general\n3 3 5\n1 1 1.0\n"
+        )
+        with pytest.raises(ValueError, match="expected 5 entries"):
+            read_matrix_market(path)

@@ -1,0 +1,133 @@
+"""Tests for the JDS (jagged diagonal) format."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.sparse.coo import CooMatrix
+from repro.sparse.csr import csr_from_dense, eye_csr
+from repro.sparse.ellpack import EllpackMatrix
+from repro.sparse.jds import JdsMatrix
+
+
+def random_csr(n_rows, n_cols, nnz, seed=0):
+    rng = np.random.default_rng(seed)
+    return CooMatrix(
+        (n_rows, n_cols),
+        rng.integers(0, n_rows, nnz),
+        rng.integers(0, n_cols, nnz),
+        rng.standard_normal(nnz),
+    ).to_csr()
+
+
+def skewed_csr(seed=0):
+    """A matrix with one dense row and many sparse ones (hub structure)."""
+    rng = np.random.default_rng(seed)
+    dense = np.zeros((20, 20))
+    dense[0, :] = rng.standard_normal(20)  # the hub row
+    for i in range(1, 20):
+        dense[i, rng.integers(0, 20, 2)] = rng.standard_normal(2)
+    return csr_from_dense(dense)
+
+
+class TestConversion:
+    def test_roundtrip(self):
+        A = random_csr(9, 7, 30, seed=1)
+        back = JdsMatrix.from_csr(A).to_csr()
+        np.testing.assert_allclose(back.to_dense(), A.to_dense(), atol=1e-15)
+
+    def test_identity(self):
+        jds = JdsMatrix.from_csr(eye_csr(5))
+        assert jds.n_diags == 1
+        np.testing.assert_array_equal(jds.to_csr().to_dense(), np.eye(5))
+
+    def test_perm_sorts_by_row_length(self):
+        A = skewed_csr()
+        jds = JdsMatrix.from_csr(A)
+        assert jds.perm[0] == 0  # hub row first
+        lengths = np.diff(A.indptr)[jds.perm]
+        assert all(a >= b for a, b in zip(lengths, lengths[1:]))
+
+    def test_n_diags_is_max_row_length(self):
+        A = skewed_csr()
+        assert JdsMatrix.from_csr(A).n_diags == 20
+
+    def test_no_padding(self):
+        A = skewed_csr()
+        jds = JdsMatrix.from_csr(A)
+        assert jds.nnz == A.nnz
+        assert jds.padding_ratio() == 1.0
+
+    def test_beats_ellpack_on_skewed_rows(self):
+        """JDS's raison d'etre: no padding where ELLPACK pads massively."""
+        A = skewed_csr()
+        ell = EllpackMatrix.from_csr(A)
+        jds = JdsMatrix.from_csr(A)
+        assert ell.padding_ratio() > 5.0
+        assert jds.nnz < ell.padded_size / 5
+
+    def test_empty_matrix(self):
+        A = CooMatrix((4, 4)).to_csr()
+        jds = JdsMatrix.from_csr(A)
+        assert jds.n_diags == 0
+        np.testing.assert_array_equal(jds.matvec(np.ones(4)), np.zeros(4))
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="permutation"):
+            JdsMatrix((2, 2), [0, 0], [0], [], [])
+        with pytest.raises(ValueError, match="end at nnz"):
+            JdsMatrix((1, 1), [0], [0, 2], [1.0], [0])
+
+
+class TestMatvec:
+    def test_against_csr(self):
+        A = random_csr(12, 12, 50, seed=2)
+        jds = JdsMatrix.from_csr(A)
+        x = np.random.default_rng(3).standard_normal(12)
+        np.testing.assert_allclose(jds.matvec(x), A.matvec(x), atol=1e-13)
+
+    def test_skewed(self):
+        A = skewed_csr(seed=4)
+        jds = JdsMatrix.from_csr(A)
+        x = np.random.default_rng(5).standard_normal(20)
+        np.testing.assert_allclose(jds.matvec(x), A.matvec(x), atol=1e-13)
+
+    def test_rectangular(self):
+        A = random_csr(6, 9, 20, seed=6)
+        jds = JdsMatrix.from_csr(A)
+        x = np.random.default_rng(7).standard_normal(9)
+        np.testing.assert_allclose(jds.matvec(x), A.to_dense() @ x, atol=1e-13)
+
+    def test_out_parameter(self):
+        jds = JdsMatrix.from_csr(eye_csr(3, 2.0))
+        out = np.full(3, -9.0)
+        y = jds.matvec(np.ones(3), out=out)
+        assert y is out
+        np.testing.assert_array_equal(out, [2.0, 2.0, 2.0])
+
+    def test_dimension_mismatch(self):
+        jds = JdsMatrix.from_csr(eye_csr(3))
+        with pytest.raises(ValueError, match="dimension mismatch"):
+            jds.matvec(np.ones(4))
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    st.integers(1, 12),
+    st.integers(1, 12),
+    st.integers(0, 40),
+    st.integers(0, 2**31 - 1),
+)
+def test_jds_property_spmv_matches_dense(n_rows, n_cols, nnz, seed):
+    rng = np.random.default_rng(seed)
+    coo = CooMatrix(
+        (n_rows, n_cols),
+        rng.integers(0, n_rows, nnz),
+        rng.integers(0, n_cols, nnz),
+        rng.standard_normal(nnz),
+    )
+    csr = coo.to_csr()
+    jds = JdsMatrix.from_csr(csr)
+    x = rng.standard_normal(n_cols)
+    np.testing.assert_allclose(jds.matvec(x), csr.to_dense() @ x, atol=1e-9)
+    np.testing.assert_allclose(jds.to_csr().to_dense(), csr.to_dense(), atol=1e-12)

@@ -1,0 +1,93 @@
+"""Property-based tests for the sparse formats (hypothesis)."""
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+
+from repro.sparse.coo import CooMatrix
+from repro.sparse.csr import csr_from_dense
+from repro.sparse.ellpack import EllpackMatrix
+
+
+@st.composite
+def coo_matrices(draw, max_dim=12, max_nnz=40):
+    n_rows = draw(st.integers(1, max_dim))
+    n_cols = draw(st.integers(1, max_dim))
+    nnz = draw(st.integers(0, max_nnz))
+    rows = draw(
+        st.lists(st.integers(0, n_rows - 1), min_size=nnz, max_size=nnz)
+    )
+    cols = draw(
+        st.lists(st.integers(0, n_cols - 1), min_size=nnz, max_size=nnz)
+    )
+    vals = draw(
+        st.lists(
+            st.floats(-1e3, 1e3, allow_nan=False, allow_infinity=False),
+            min_size=nnz,
+            max_size=nnz,
+        )
+    )
+    return CooMatrix((n_rows, n_cols), rows, cols, vals)
+
+
+@settings(max_examples=60, deadline=None)
+@given(coo_matrices())
+def test_coo_to_csr_preserves_dense(coo):
+    np.testing.assert_allclose(coo.to_csr().to_dense(), coo.to_dense(), atol=1e-12)
+
+
+@settings(max_examples=60, deadline=None)
+@given(coo_matrices())
+def test_csr_ellpack_roundtrip(coo):
+    csr = coo.to_csr()
+    ell = EllpackMatrix.from_csr(csr)
+    np.testing.assert_allclose(ell.to_csr().to_dense(), csr.to_dense(), atol=1e-12)
+
+
+@settings(max_examples=60, deadline=None)
+@given(coo_matrices(), st.integers(0, 2**31 - 1))
+def test_spmv_agreement_csr_ellpack_dense(coo, seed):
+    csr = coo.to_csr()
+    ell = EllpackMatrix.from_csr(csr)
+    x = np.random.default_rng(seed).standard_normal(csr.n_cols)
+    dense_y = csr.to_dense() @ x
+    np.testing.assert_allclose(csr.matvec(x), dense_y, atol=1e-8)
+    np.testing.assert_allclose(ell.matvec(x), dense_y, atol=1e-8)
+
+
+@settings(max_examples=40, deadline=None)
+@given(coo_matrices(), st.integers(0, 2**31 - 1))
+def test_rmatvec_is_transpose_matvec(coo, seed):
+    csr = coo.to_csr()
+    y = np.random.default_rng(seed).standard_normal(csr.n_rows)
+    np.testing.assert_allclose(
+        csr.rmatvec(y), csr.transpose().matvec(y), atol=1e-8
+    )
+
+
+@settings(max_examples=40, deadline=None)
+@given(coo_matrices(max_dim=8))
+def test_transpose_involution(coo):
+    csr = coo.to_csr()
+    np.testing.assert_allclose(
+        csr.transpose().transpose().to_dense(), csr.to_dense(), atol=1e-12
+    )
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    st.integers(1, 10),
+    st.integers(0, 2**31 - 1),
+)
+def test_permute_preserves_multiset_of_values(n, seed):
+    rng = np.random.default_rng(seed)
+    dense = rng.standard_normal((n, n))
+    dense[rng.random((n, n)) < 0.5] = 0.0
+    csr = csr_from_dense(dense)
+    perm = rng.permutation(n)
+    permuted = csr.permute(perm)
+    np.testing.assert_allclose(
+        np.sort(permuted.data), np.sort(csr.data), atol=1e-14
+    )
+    np.testing.assert_allclose(
+        permuted.to_dense(), dense[np.ix_(perm, perm)], atol=1e-14
+    )

@@ -1,0 +1,43 @@
+"""Tests for the ``python -m repro`` command-line interface."""
+
+import pytest
+
+from repro.__main__ import main
+
+
+class TestCli:
+    def test_list(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "fig06" in out and "fig08" in out and "solve" in out
+
+    def test_fig10(self, capsys):
+        assert main(["fig10"]) == 0
+        out = capsys.readouterr().out
+        assert "CHOLQR" in out and "O(eps)" in out
+
+    def test_fig11(self, capsys):
+        assert main(["fig11"]) == 0
+        out = capsys.readouterr().out
+        assert "DGEMM" in out and "DGEMV" in out
+
+    def test_out_directory(self, tmp_path, capsys):
+        assert main(["fig10", "--out", str(tmp_path)]) == 0
+        assert (tmp_path / "fig10.txt").exists()
+
+    def test_solve_small(self, capsys):
+        code = main(
+            ["solve", "--matrix", "g3_circuit", "--solver", "gmres",
+             "--gpus", "1", "--max-restarts", "1"]
+        )
+        out = capsys.readouterr().out
+        assert "time/restart" in out
+        assert code in (0, 1)
+
+    def test_unknown_command_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["frobnicate"])
+
+    def test_bad_matrix_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["solve", "--matrix", "bcsstk01"])

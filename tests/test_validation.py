@@ -1,0 +1,101 @@
+"""Tests for repro._validation helpers."""
+
+import numpy as np
+import pytest
+
+from repro._validation import (
+    as_float64_array,
+    as_index_array,
+    check_in,
+    check_nonnegative,
+    check_positive,
+    check_square,
+    check_vector,
+)
+
+
+class TestCheckPositive:
+    def test_accepts_positive(self):
+        check_positive(1, "x")
+        check_positive(0.5, "x")
+
+    def test_rejects_zero(self):
+        with pytest.raises(ValueError, match="x must be positive"):
+            check_positive(0, "x")
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            check_positive(-3, "x")
+
+
+class TestCheckNonnegative:
+    def test_accepts_zero(self):
+        check_nonnegative(0, "x")
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError, match="non-negative"):
+            check_nonnegative(-1, "x")
+
+
+class TestCheckSquare:
+    def test_accepts_square(self):
+        check_square((3, 3))
+
+    def test_rejects_rectangular(self):
+        with pytest.raises(ValueError, match="square"):
+            check_square((3, 4))
+
+    def test_rejects_wrong_rank(self):
+        with pytest.raises(ValueError):
+            check_square((3,))
+
+
+class TestCheckVector:
+    def test_accepts_correct_length(self):
+        check_vector(np.zeros(5), 5)
+
+    def test_rejects_wrong_length(self):
+        with pytest.raises(ValueError):
+            check_vector(np.zeros(4), 5)
+
+    def test_rejects_matrix(self):
+        with pytest.raises(ValueError):
+            check_vector(np.zeros((5, 1)), 5)
+
+
+class TestCheckIn:
+    def test_accepts_member(self):
+        check_in("a", {"a", "b"}, "opt")
+
+    def test_rejects_nonmember(self):
+        with pytest.raises(ValueError, match="opt must be one of"):
+            check_in("c", {"a", "b"}, "opt")
+
+
+class TestAsFloat64Array:
+    def test_converts_list(self):
+        out = as_float64_array([1, 2, 3])
+        assert out.dtype == np.float64
+        np.testing.assert_array_equal(out, [1.0, 2.0, 3.0])
+
+    def test_rejects_nan(self):
+        with pytest.raises(ValueError, match="non-finite"):
+            as_float64_array([1.0, np.nan])
+
+    def test_rejects_inf(self):
+        with pytest.raises(ValueError):
+            as_float64_array([np.inf])
+
+    def test_no_copy_when_already_float64(self):
+        arr = np.array([1.0, 2.0])
+        assert as_float64_array(arr) is arr
+
+
+class TestAsIndexArray:
+    def test_converts(self):
+        out = as_index_array([0, 1, 2])
+        assert out.dtype == np.int64
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError, match="negative"):
+            as_index_array([0, -1])
