@@ -16,7 +16,7 @@ per-restart averages, which is what Fig. 14 reports).
 import numpy as np
 import pytest
 
-from repro.harness import format_table
+from repro.harness import format_table, profile_breakdown_table
 from repro.harness.experiment import run_solver_experiment, solver_table_row
 from repro.matrices import cant, dielfilter, g3_circuit
 from repro.order import kway_partition
@@ -102,6 +102,15 @@ def test_fig14_ca_gmres(benchmark, record_output, name):
         lambda: run_case(name, spec), rounds=1, iterations=1
     )
     record_output(f"fig14_{name}", table)
+    # Per-kernel attribution from the event trace (the paper's Fig. 11-style
+    # breakdown) for the headline CA-GMRES configuration on 3 GPUs.
+    record_output(
+        f"fig14_{name}_kernels",
+        profile_breakdown_table(
+            records[("ca", 3)].raw,
+            title=f"{spec['label_ca']} on 3 GPUs — {name}",
+        ),
+    )
 
     # Paper shape 1: MGS-GMRES is much slower than CGS-GMRES.
     assert records[("mgs", 1)].orth_ms > 2.0 * records[("cgs", 1)].orth_ms

@@ -1,0 +1,17 @@
+#!/usr/bin/env bash
+# Repo check: lint (when ruff is available) + tier-1 test suite.
+#
+# Usage: scripts/check.sh [extra pytest args...]
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+if command -v ruff >/dev/null 2>&1; then
+    echo "== ruff =="
+    ruff check src tests benchmarks examples
+else
+    echo "== ruff not installed; skipping lint =="
+fi
+
+echo "== pytest (tier 1) =="
+PYTHONPATH=src python -m pytest -x -q "$@"

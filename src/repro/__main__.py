@@ -6,6 +6,7 @@ Usage::
     python -m repro fig06 [--out results/]    # regenerate one figure
     python -m repro solve --matrix g3_circuit --solver ca_gmres --gpus 3
     python -m repro suite                     # Fig. 12 matrix table
+    python -m repro trace --solver ca_gmres   # Chrome trace + breakdown
 
 The figure commands drive the same code as ``pytest benchmarks/`` but
 without the pytest machinery, so they are convenient for interactive use.
@@ -26,7 +27,7 @@ def _cmd_list(_args) -> int:
     print("experiments:")
     for name, doc in sorted(_EXPERIMENTS.items()):
         print(f"  {name:8s} {doc}")
-    print("\nother commands: solve, suite")
+    print("\nother commands: solve, suite, trace")
     return 0
 
 
@@ -206,6 +207,64 @@ def _cmd_solve(args) -> int:
     return 0 if result.converged or args.max_restarts else 1
 
 
+def _cmd_trace(args) -> int:
+    """Run one solver config, write a Chrome trace + text breakdown."""
+    from repro.core.ca_gmres import ca_gmres
+    from repro.core.gmres import gmres
+    from repro.core.pipelined import pipelined_gmres
+    from repro.gpu.context import MultiGpuContext
+    from repro.harness import cycle_breakdown_table, profile_breakdown_table
+    from repro.matrices.stencil import (
+        convection_diffusion2d,
+        poisson2d,
+        poisson3d,
+    )
+
+    builders = {
+        "poisson2d": poisson2d,
+        "poisson3d": poisson3d,
+        "convdiff2d": convection_diffusion2d,
+    }
+    A = builders[args.matrix](args.nx)
+    b = np.ones(A.n_rows)
+    ctx = MultiGpuContext(args.gpus)
+    common = dict(
+        ctx=ctx, m=args.m, tol=args.tol, max_restarts=args.max_restarts
+    )
+    if args.solver == "gmres":
+        result = gmres(A, b, **common)
+    elif args.solver == "pipelined":
+        result = pipelined_gmres(A, b, **common)
+    else:
+        result = ca_gmres(A, b, s=args.s, **common)
+
+    out_dir = Path(args.out or "results")
+    out_dir.mkdir(parents=True, exist_ok=True)
+    stem = f"trace_{args.solver}_{args.matrix}"
+    trace_path = out_dir / f"{stem}.json"
+    ctx.trace.write_chrome_trace(trace_path)
+
+    title = (
+        f"{args.solver} on {args.gpus} simulated GPU(s), "
+        f"{args.matrix} nx={args.nx} (n={A.n_rows})"
+    )
+    text = "\n\n".join(
+        [
+            profile_breakdown_table(result, title=title),
+            cycle_breakdown_table(result),
+        ]
+    )
+    print(text)
+    (out_dir / f"{stem}.txt").write_text(text + "\n")
+    n_events = len(ctx.trace.events)
+    lanes = ", ".join(ctx.trace.lanes())
+    print(
+        f"\nwrote {trace_path} ({n_events} events; lanes: {lanes})\n"
+        "open it in chrome://tracing or https://ui.perfetto.dev"
+    )
+    return 0
+
+
 _EXPERIMENTS = {
     "fig06": "MPK surface-to-volume ratio vs s",
     "fig08": "MPK run time vs s (with ASCII plot)",
@@ -221,6 +280,7 @@ _HANDLERS = {
     "fig11": _cmd_fig11,
     "suite": _cmd_suite,
     "solve": _cmd_solve,
+    "trace": _cmd_trace,
 }
 
 
@@ -241,6 +301,23 @@ def main(argv: list[str] | None = None) -> int:
     p.add_argument("--gpus", type=int, default=3)
     p.add_argument("--tol", type=float, default=1e-4)
     p.add_argument("--max-restarts", type=int, default=10)
+    p = sub.add_parser(
+        "trace",
+        help="run one solver config, write a Chrome trace_event JSON "
+             "(chrome://tracing / Perfetto) and a kernel breakdown table",
+    )
+    p.add_argument("--matrix", default="poisson2d",
+                   choices=["poisson2d", "poisson3d", "convdiff2d"])
+    p.add_argument("--nx", type=int, default=30,
+                   help="stencil grid dimension (n = nx^2 or nx^3)")
+    p.add_argument("--solver", default="ca_gmres",
+                   choices=["gmres", "ca_gmres", "pipelined"])
+    p.add_argument("--gpus", type=int, default=2)
+    p.add_argument("--m", type=int, default=20)
+    p.add_argument("--s", type=int, default=5)
+    p.add_argument("--tol", type=float, default=1e-4)
+    p.add_argument("--max-restarts", type=int, default=3)
+    p.add_argument("--out", default=None, help="output directory (default results/)")
     args = parser.parse_args(argv)
     return _HANDLERS[args.command](args)
 

@@ -194,10 +194,17 @@ def ca_gmres(
     r0 = b_solve - A_solve.matvec(gathered_solution(x))
     history.initial_residual = float(np.linalg.norm(r0))
     # Already at (numerical) convergence: a relative criterion on a zero
-    # residual would be meaningless.
+    # residual would be meaningless.  The documented details keys must be
+    # present on this path too, or collect_tsqr_errors / adaptive_s callers
+    # hit KeyError on an already-converged right-hand side.
     floor = 100.0 * np.finfo(np.float64).eps * float(np.linalg.norm(b_solve))
     if history.initial_residual <= floor:
-        return _finish(ctx, x, bal, True, 0, 0, history, 0, {}, preconditioner)
+        early: dict = {}
+        if collect_tsqr_errors:
+            early["tsqr_errors"] = []
+        if adaptive_s:
+            early["s_history"] = []
+        return _finish(ctx, x, bal, True, 0, 0, history, 0, early, preconditioner)
     abs_tol = tol * history.initial_residual
 
     shifts: np.ndarray | None = None
@@ -209,6 +216,7 @@ def ca_gmres(
     adapt_state = {"s_eff": s, "history": []} if adaptive_s else None
 
     for _ in range(max_restarts):
+        ctx.mark_cycle()
         if basis == "newton" and shifts is None:
             # Shift-seeding cycle: standard GMRES, Ritz values from its H.
             info = run_gmres_cycle(
@@ -432,6 +440,8 @@ def _finish(
         x_host = bal.unscale_solution(x_host)
     if preconditioner is not None:
         x_host = preconditioner.recover(x_host)
+    details = dict(details)
+    details["profile"] = ctx.trace.profile()
     return SolveResult(
         x=x_host,
         converged=converged,

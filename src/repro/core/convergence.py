@@ -57,11 +57,19 @@ class SolveResult:
     timers
         Simulated seconds per phase: keys like ``"spmv"``, ``"mpk"``,
         ``"borth"``, ``"tsqr"``, ``"orth"``, ``"lsq"``, ``"update"``.
+        These are *exclusive* times (nested regions are charged to the
+        innermost region only).
     counters
         Snapshot of the runtime counters at the end of the solve.
     breakdowns
         Orthogonalization breakdowns survived (CholQR on ill-conditioned
         panels); each forces an early restart.
+    details
+        Solver-specific extras.  All drivers attach ``details["profile"]``,
+        the trace-derived aggregate metrics (per-kernel, per-region,
+        per-transfer, and per-restart-cycle; see
+        :meth:`repro.gpu.trace.TraceRecorder.profile`), also reachable as
+        :attr:`profile`.
     """
 
     x: np.ndarray
@@ -78,6 +86,11 @@ class SolveResult:
     def total_time(self) -> float:
         """Total simulated solve time (sum of phase timers)."""
         return float(sum(self.timers.values()))
+
+    @property
+    def profile(self) -> dict | None:
+        """Trace-derived aggregate metrics (``details["profile"]``)."""
+        return self.details.get("profile")
 
     def time_per_restart(self, phase: str | None = None) -> float:
         """Average per-restart time of one phase (or the total)."""

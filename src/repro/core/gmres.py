@@ -249,6 +249,7 @@ def gmres(
     restarts = 0
     iterations = 0
     for _ in range(max_restarts):
+        ctx.mark_cycle()
         info = run_gmres_cycle(
             ctx,
             dmat,
@@ -295,4 +296,5 @@ def _finish(
         timers=dict(ctx.timers),
         counters=ctx.counters.snapshot(),
         breakdowns=breakdowns,
+        details={"profile": ctx.trace.profile()},
     )

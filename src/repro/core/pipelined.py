@@ -106,6 +106,7 @@ def pipelined_gmres(
     restarts = 0
     iterations = 0
     for _ in range(max_restarts):
+        ctx.mark_cycle()
         j_used = _pipelined_cycle(
             ctx, dmat, V, x, b_dist, m, abs_tol, gemv_variant, history,
             iterations,
@@ -224,4 +225,5 @@ def _finish(ctx, x, bal, converged, restarts, iterations, history):
         history=history,
         timers=dict(ctx.timers),
         counters=ctx.counters.snapshot(),
+        details={"profile": ctx.trace.profile()},
     )

@@ -56,12 +56,16 @@ class StagedExchange:
             else np.empty(0, dtype=np.int64)
         )
         # send_local[d]: positions within device d's own part to compress.
+        # _stage_mask[d]: which staging slots device d's gather fills — like
+        # send_local this is invariant across exchanges, so it is computed
+        # once here instead of on the per-iteration halo-exchange hot path.
         self.send_local = []
+        self._stage_mask = []
         for d in range(partition.n_parts):
-            mine = self.union_requested[
-                partition.assignment[self.union_requested] == d
-            ]
+            mask = partition.assignment[self.union_requested] == d
+            mine = self.union_requested[mask]
             self.send_local.append(np.searchsorted(owned[d], mine))
+            self._stage_mask.append(mask)
         # staging positions of each device's incoming elements
         self._stage_pos = [
             np.searchsorted(self.union_requested, req) for req in self.recv_global
@@ -100,8 +104,7 @@ class StagedExchange:
             compressed = DeviceArray(x_parts[d].data[send], dev)
             dev.charge_kernel("copy", "cublas", n=send.size)
             arrived = ctx.d2h(compressed)
-            mine = self.partition.assignment[self.union_requested] == d
-            stage[mine] = arrived
+            stage[self._stage_mask[d]] = arrived
         received: list[np.ndarray] = []
         for d, dev in enumerate(ctx.devices):
             pos = self._stage_pos[d]

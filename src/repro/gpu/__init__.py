@@ -22,6 +22,7 @@ BLAS with per-variant cost models (cublas / magma / batched).
 from .counters import Counters
 from .device import Device, DeviceArray, Host
 from .pcie import PcieBus
+from .trace import TraceEvent, TraceRecorder
 from .context import MultiGpuContext
 from .multinode import MultiNodeContext, NetworkSpec, infiniband_qdr
 
@@ -31,6 +32,8 @@ __all__ = [
     "DeviceArray",
     "Host",
     "PcieBus",
+    "TraceEvent",
+    "TraceRecorder",
     "MultiGpuContext",
     "MultiNodeContext",
     "NetworkSpec",

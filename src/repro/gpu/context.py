@@ -8,9 +8,13 @@ Time semantics
 --------------
 Each device and the host carry their own clock; transfers are scheduled on
 the (shared) bus and delay only their consumer.  ``current_time`` is the max
-over all clocks.  A :meth:`region` context-manager accumulates the
-``current_time`` delta into a named bucket — this is how the solvers
-attribute time to SpMV / MPK / BOrth / TSQR exactly as the paper's tables do.
+over all clocks.  A :meth:`region` context-manager records a (properly
+nested) span into the structured event trace (:class:`~repro.gpu.trace.
+TraceRecorder`) — this is how the solvers attribute time to SpMV / MPK /
+BOrth / TSQR exactly as the paper's tables do.  ``ctx.timers`` remains
+available as the per-region *exclusive*-time view of the trace: identical
+to the historical accumulation for non-nested regions, and no longer
+double-counting when regions nest.
 """
 
 from __future__ import annotations
@@ -24,6 +28,7 @@ from ..perf.model import PerformanceModel
 from .counters import Counters
 from .device import Device, DeviceArray, Host
 from .pcie import PcieBus
+from .trace import TraceRecorder
 
 __all__ = ["MultiGpuContext"]
 
@@ -48,10 +53,18 @@ class MultiGpuContext:
         self.machine = machine
         self.perf = PerformanceModel(machine)
         self.counters = Counters()
-        self.devices = [Device(d, self.perf, self.counters) for d in range(n_gpus)]
-        self.host = Host(self.perf, self.counters)
-        self.bus = PcieBus(machine.pcie)
-        self.timers: dict[str, float] = {}
+        self.trace = TraceRecorder()
+        self.devices = [
+            Device(d, self.perf, self.counters, trace=self.trace)
+            for d in range(n_gpus)
+        ]
+        self.host = Host(self.perf, self.counters, trace=self.trace)
+        self.bus = PcieBus(machine.pcie, trace=self.trace)
+
+    @property
+    def timers(self) -> dict[str, float]:
+        """Per-region exclusive simulated seconds (derived from the trace)."""
+        return self.trace.exclusive_totals()
 
     @property
     def n_gpus(self) -> int:
@@ -73,23 +86,30 @@ class MultiGpuContext:
         return t
 
     def reset_clocks(self) -> None:
-        """Zero all clocks, the bus, and the timing buckets."""
+        """Zero all clocks, the bus, and the event trace (timers with it)."""
         self.host.clock = 0.0
         for dev in self.devices:
             dev.clock = 0.0
         self.bus.reset()
-        self.timers.clear()
+        self.trace.reset()
 
     @contextmanager
     def region(self, name: str):
-        """Accumulate the simulated-time delta of a code block into ``name``."""
-        start = self.current_time()
+        """Record a (nestable) named span of simulated time into the trace.
+
+        ``ctx.timers[name]`` accumulates the span's *exclusive* time: for
+        non-nested regions that is exactly the historical wall-clock delta;
+        a nested child's time is charged to the child only.
+        """
+        self.trace.region_enter(name, self.current_time())
         try:
             yield
         finally:
-            self.timers[name] = self.timers.get(name, 0.0) + (
-                self.current_time() - start
-            )
+            self.trace.region_exit(name, self.current_time())
+
+    def mark_cycle(self) -> None:
+        """Mark a restart-cycle boundary in the trace at the current time."""
+        self.trace.mark_cycle(self.current_time())
 
     # ------------------------------------------------------------------
     # Transfers
@@ -100,7 +120,9 @@ class MultiGpuContext:
         The host is not blocked (async copy); the device waits for arrival.
         """
         array = np.asarray(array)
-        end = self.bus.schedule(self.host.clock, array.nbytes)
+        end = self.bus.schedule(
+            self.host.clock, array.nbytes, kind="h2d", peer=device.name
+        )
         device.wait_until(end)
         self.counters.h2d_messages += 1
         self.counters.h2d_bytes += array.nbytes
@@ -116,7 +138,9 @@ class MultiGpuContext:
         though the device's compute clock has since moved on).
         """
         ready = darr.device.clock if ready_at is None else min(ready_at, darr.device.clock)
-        end = self.bus.schedule(ready, darr.nbytes)
+        end = self.bus.schedule(
+            ready, darr.nbytes, kind="d2h", peer=darr.device.name
+        )
         self.host.wait_until(end)
         self.counters.d2h_messages += 1
         self.counters.d2h_bytes += darr.nbytes

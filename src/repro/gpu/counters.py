@@ -26,6 +26,7 @@ class Counters:
     device_flops: float = 0.0
     host_flops: float = 0.0
     host_small_ops: int = 0
+    kernel_counts: dict = field(default_factory=dict)  # "op/variant" -> launches
     _marks: dict = field(default_factory=dict, repr=False)
 
     @property
@@ -38,6 +39,11 @@ class Counters:
         """All PCIe bytes in both directions."""
         return self.h2d_bytes + self.d2h_bytes
 
+    def count_kernel(self, op: str, variant: str) -> None:
+        """Tally one launch of ``op``/``variant`` (per-kernel attribution)."""
+        key = f"{op}/{variant}"
+        self.kernel_counts[key] = self.kernel_counts.get(key, 0) + 1
+
     def reset(self) -> None:
         """Zero every counter (marks are kept)."""
         self.h2d_messages = 0
@@ -48,6 +54,7 @@ class Counters:
         self.device_flops = 0.0
         self.host_flops = 0.0
         self.host_small_ops = 0
+        self.kernel_counts = {}
 
     def snapshot(self) -> dict:
         """Immutable view of the current values."""
@@ -60,6 +67,7 @@ class Counters:
             "device_flops": self.device_flops,
             "host_flops": self.host_flops,
             "host_small_ops": self.host_small_ops,
+            "kernel_counts": dict(self.kernel_counts),
         }
 
     def mark(self, name: str) -> None:
@@ -72,4 +80,12 @@ class Counters:
         if base is None:
             raise KeyError(f"no counter mark named {name!r}")
         now = self.snapshot()
-        return {key: now[key] - base[key] for key in now}
+        return {key: _diff(now[key], base.get(key, 0)) for key in now}
+
+
+def _diff(now, base):
+    """Numeric difference; dict-valued counters diff per key."""
+    if isinstance(now, dict):
+        base = base if isinstance(base, dict) else {}
+        return {k: now.get(k, 0) - base.get(k, 0) for k in set(now) | set(base)}
+    return now - base

@@ -57,11 +57,22 @@ class DeviceArray:
 class _Clocked:
     """Shared clock behavior for devices and the host."""
 
-    def __init__(self, name: str, perf: PerformanceModel, counters: Counters):
+    def __init__(
+        self, name: str, perf: PerformanceModel, counters: Counters, trace=None
+    ):
         self.name = name
         self.perf = perf
         self.counters = counters
+        self.trace = trace
         self.clock = 0.0
+
+    def _record_kernel(self, op: str, variant: str, start: float, t: float) -> None:
+        """Log one kernel interval into the trace (no-op without one)."""
+        if self.trace is not None:
+            self.trace.record(
+                f"{op}/{variant}", self.name, "kernel", start, t, op=op,
+                variant=variant,
+            )
 
     def advance(self, seconds: float) -> None:
         """Move this resource's clock forward."""
@@ -88,8 +99,10 @@ class Device(_Clocked):
         Shared event counters.
     """
 
-    def __init__(self, device_id: int, perf: PerformanceModel, counters: Counters):
-        super().__init__(f"gpu{device_id}", perf, counters)
+    def __init__(
+        self, device_id: int, perf: PerformanceModel, counters: Counters, trace=None
+    ):
+        super().__init__(f"gpu{device_id}", perf, counters, trace=trace)
         self.device_id = int(device_id)
 
     # -- array management -------------------------------------------------
@@ -113,11 +126,14 @@ class Device(_Clocked):
     # -- execution ---------------------------------------------------------
     def charge_kernel(self, op: str, variant: str, **shape) -> float:
         """Advance this device's clock by one kernel's modeled time."""
+        start = self.clock
         t = self.perf.gpu_time(op, variant, **shape)
         self.advance(t)
         flops, _ = kernel_flops_bytes(op, variant, **shape)
         self.counters.kernel_launches += 1
         self.counters.device_flops += flops
+        self.counters.count_kernel(op, variant)
+        self._record_kernel(op, variant, start, t)
         return t
 
     def require_resident(self, *arrays: DeviceArray) -> None:
@@ -137,20 +153,26 @@ class Device(_Clocked):
 class Host(_Clocked):
     """The 16-core host CPU: reductions and small dense factorizations."""
 
-    def __init__(self, perf: PerformanceModel, counters: Counters):
-        super().__init__("host", perf, counters)
+    def __init__(self, perf: PerformanceModel, counters: Counters, trace=None):
+        super().__init__("host", perf, counters, trace=trace)
 
     def charge_kernel(self, op: str, variant: str = "mkl", **shape) -> float:
         """Advance the host clock by one threaded-BLAS kernel's time."""
+        start = self.clock
         t = self.perf.cpu_time(op, variant, **shape)
         self.advance(t)
         flops, _ = kernel_flops_bytes(op, variant, **shape)
         self.counters.host_flops += flops
+        self.counters.count_kernel(op, variant)
+        self._record_kernel(op, variant, start, t)
         return t
 
     def charge_small_dense(self, op: str, k: int) -> float:
         """Advance the host clock by a small k x k LAPACK factorization."""
+        start = self.clock
         t = self.perf.host_small_dense(op, k)
         self.advance(t)
         self.counters.host_small_ops += 1
+        self.counters.count_kernel(op, "lapack")
+        self._record_kernel(op, "lapack", start, t)
         return t

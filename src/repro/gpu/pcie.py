@@ -22,9 +22,10 @@ __all__ = ["PcieBus"]
 class PcieBus:
     """Shared host-device interconnect with latency/bandwidth/serialization."""
 
-    def __init__(self, spec: PcieSpec):
+    def __init__(self, spec: PcieSpec, trace=None):
         self.spec = spec
         self.busy_until = 0.0
+        self.trace = trace
 
     def message_time(self, nbytes: int) -> float:
         """Cost of one message of ``nbytes`` in isolation."""
@@ -32,16 +33,25 @@ class PcieBus:
             raise ValueError("nbytes must be non-negative")
         return self.spec.latency + nbytes / self.spec.bandwidth
 
-    def schedule(self, ready_at: float, nbytes: int) -> float:
+    def schedule(
+        self, ready_at: float, nbytes: int, kind: str = "xfer", peer: str | None = None
+    ) -> float:
         """Schedule a message whose payload is ready at ``ready_at``.
 
         Returns the completion time.  With a shared bus the transfer also
-        queues behind the previous one.
+        queues behind the previous one.  When a trace recorder is attached,
+        the bus-occupancy interval is recorded in the ``pcie`` lane with the
+        transfer direction (``kind``), byte count, and ``peer`` device.
         """
         start = max(ready_at, self.busy_until) if self.spec.shared_bus else ready_at
         end = start + self.message_time(nbytes)
         if self.spec.shared_bus:
             self.busy_until = end
+        if self.trace is not None:
+            name = kind if peer is None else f"{kind} {peer}"
+            self.trace.record(
+                name, "pcie", kind, start, end - start, bytes=int(nbytes), peer=peer
+            )
         return end
 
     def reset(self) -> None:

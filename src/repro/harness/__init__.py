@@ -8,6 +8,12 @@ and to collect machine-readable records for EXPERIMENTS.md.
 from .tables import format_table, format_series, format_float
 from .plot import ascii_plot
 from .experiment import ExperimentRecord, run_solver_experiment, solver_table_row
+from .profile import (
+    cycle_breakdown_table,
+    kernel_breakdown_rows,
+    profile_breakdown_table,
+    region_breakdown_rows,
+)
 
 __all__ = [
     "format_table",
@@ -17,4 +23,8 @@ __all__ = [
     "ExperimentRecord",
     "run_solver_experiment",
     "solver_table_row",
+    "profile_breakdown_table",
+    "cycle_breakdown_table",
+    "kernel_breakdown_rows",
+    "region_breakdown_rows",
 ]

@@ -51,6 +51,9 @@ class CsrMatrix:
             raise ValueError("indptr must be non-decreasing")
         if self.indices.shape != self.data.shape:
             raise ValueError("indices and data must have equal length")
+        # Negative indices are rejected by as_index_array above; they would
+        # otherwise silently wrap around via fancy indexing in
+        # matvec/scale_cols, producing wrong results instead of an error.
         if self.indices.size and self.indices.max() >= n_cols:
             raise ValueError("column index out of range")
 
@@ -211,6 +214,8 @@ class CsrMatrix:
             raise ValueError("permute requires a square matrix")
         if perm.size != self.n_rows:
             raise ValueError("perm has wrong length")
+        if perm.size and perm.max() >= self.n_rows:
+            raise ValueError("perm entries must be in [0, n_rows)")
         inv = np.empty_like(perm)
         inv[perm] = np.arange(perm.size)
         rows_perm = self.extract_rows(perm)

@@ -1,0 +1,150 @@
+"""Tests for the adaptive_s state machine, CholQR->CAQR fallback counting,
+and the early-convergence details contract of ca_gmres."""
+
+import importlib
+
+import numpy as np
+import pytest
+
+from repro.core.ca_gmres import _adapt_block_length, ca_gmres
+
+# The package re-exports the ca_gmres *function* under the submodule's name,
+# so fetch the module itself for monkeypatching.
+ca_mod = importlib.import_module("repro.core.ca_gmres")
+from repro.matrices.stencil import poisson2d
+from repro.orth.errors import CholeskyBreakdown
+
+
+def _state(s_eff):
+    return {"s_eff": s_eff, "history": []}
+
+
+class TestAdaptBlockLength:
+    def test_shrink_on_breakdown(self):
+        state = _state(8)
+        R = np.eye(8)  # perfectly conditioned — breakdown must still shrink
+        _adapt_block_length(state, R, s_max=8, s_used=8, block_breakdowns=1)
+        assert state["s_eff"] == 4
+        assert state["history"] == [{"s_used": 8, "diag_ratio": 1.0}]
+
+    def test_shrink_on_diag_ratio(self):
+        state = _state(8)
+        R = np.diag([1.0, 1e-11])  # ratio 1e11 > 1e10
+        _adapt_block_length(state, R, s_max=8, s_used=8, block_breakdowns=0)
+        assert state["s_eff"] == 4
+        assert state["history"][0]["diag_ratio"] == pytest.approx(1e11)
+
+    def test_shrink_floor_is_two(self):
+        state = _state(2)
+        _adapt_block_length(state, np.eye(2), s_max=8, s_used=2, block_breakdowns=1)
+        assert state["s_eff"] == 2
+
+    def test_regrow_when_healthy(self):
+        state = _state(4)
+        R = np.eye(4)  # ratio 1.0 < 1e4 — healthy basis
+        _adapt_block_length(state, R, s_max=15, s_used=4, block_breakdowns=0)
+        assert state["s_eff"] == 6  # ceil(1.5 * 4)
+
+    def test_regrow_capped_at_requested_s(self):
+        state = _state(12)
+        _adapt_block_length(state, np.eye(12), s_max=15, s_used=12, block_breakdowns=0)
+        assert state["s_eff"] == 15  # ceil(1.5*12)=18 capped at s_max
+
+    def test_intermediate_ratio_holds_steady(self):
+        state = _state(6)
+        R = np.diag([1.0, 1e-6])  # 1e4 <= ratio <= 1e10: no change
+        _adapt_block_length(state, R, s_max=15, s_used=6, block_breakdowns=0)
+        assert state["s_eff"] == 6
+
+    def test_empty_diag_counts_as_healthy(self):
+        state = _state(4)
+        _adapt_block_length(
+            state, np.zeros((0, 0)), s_max=8, s_used=4, block_breakdowns=0
+        )
+        assert state["s_eff"] == 6
+        assert state["history"][0]["diag_ratio"] == 1.0
+
+    def test_adaptive_solve_records_history(self):
+        A = poisson2d(12)
+        b = np.ones(A.n_rows)
+        r = ca_gmres(A, b, s=4, m=12, basis="monomial", adaptive_s=True,
+                     max_restarts=2)
+        assert "s_history" in r.details
+        assert all(
+            {"s_used", "diag_ratio"} <= set(entry)
+            for entry in r.details["s_history"]
+        )
+
+
+class TestBreakdownFallback:
+    def _patch_cholqr_to_break(self, monkeypatch):
+        """Make every CholQR TSQR raise, forcing the CAQR fallback path."""
+        real_tsqr = ca_mod.tsqr
+        calls = {"cholqr": 0, "caqr": 0}
+
+        def flaky_tsqr(ctx, panels, method="cholqr", variant=None):
+            if method == "cholqr":
+                calls["cholqr"] += 1
+                raise CholeskyBreakdown("synthetic breakdown")
+            calls[method] = calls.get(method, 0) + 1
+            return real_tsqr(ctx, panels, method=method, variant=variant)
+
+        monkeypatch.setattr(ca_mod, "tsqr", flaky_tsqr)
+        return calls
+
+    def test_fallback_counts_every_breakdown(self, monkeypatch):
+        calls = self._patch_cholqr_to_break(monkeypatch)
+        A = poisson2d(10)
+        b = np.ones(A.n_rows)
+        r = ca_gmres(A, b, s=3, m=9, basis="monomial", tsqr_method="cholqr",
+                     max_restarts=1, tol=1e-12)
+        assert calls["cholqr"] > 0
+        assert calls["caqr"] == calls["cholqr"]  # one retry per breakdown
+        assert r.breakdowns == calls["cholqr"]
+
+    def test_on_breakdown_raise_propagates(self, monkeypatch):
+        self._patch_cholqr_to_break(monkeypatch)
+        A = poisson2d(10)
+        b = np.ones(A.n_rows)
+        with pytest.raises(CholeskyBreakdown):
+            ca_gmres(A, b, s=3, m=9, basis="monomial", tsqr_method="cholqr",
+                     on_breakdown="raise", max_restarts=1)
+
+    def test_no_breakdowns_on_well_conditioned_solve(self):
+        A = poisson2d(10)
+        b = np.ones(A.n_rows)
+        r = ca_gmres(A, b, s=3, m=9, basis="monomial", max_restarts=2)
+        assert r.breakdowns == 0
+
+
+class TestEarlyConvergenceDetails:
+    """A zero (or already-converged) rhs must still honor the documented
+    details keys — previously a bare ``{}`` caused KeyError on callers."""
+
+    def test_tsqr_errors_key_present(self):
+        A = poisson2d(8)
+        b = np.zeros(A.n_rows)
+        r = ca_gmres(A, b, s=3, m=9, collect_tsqr_errors=True)
+        assert r.converged
+        assert r.n_iterations == 0
+        assert r.details["tsqr_errors"] == []
+
+    def test_s_history_key_present(self):
+        A = poisson2d(8)
+        b = np.zeros(A.n_rows)
+        r = ca_gmres(A, b, s=3, m=9, adaptive_s=True)
+        assert r.converged
+        assert r.details["s_history"] == []
+
+    def test_profile_attached_on_early_return(self):
+        A = poisson2d(8)
+        b = np.zeros(A.n_rows)
+        r = ca_gmres(A, b, s=3, m=9)
+        assert r.profile is not None
+
+    def test_keys_absent_when_not_requested(self):
+        A = poisson2d(8)
+        b = np.zeros(A.n_rows)
+        r = ca_gmres(A, b, s=3, m=9)
+        assert "tsqr_errors" not in r.details
+        assert "s_history" not in r.details

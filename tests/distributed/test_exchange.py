@@ -90,3 +90,16 @@ class TestStagedExchange:
             rec = ex.exchange(ctx, dist_parts(ctx, part, v))
             assert rec[0][0] == v[4]
             assert rec[1][0] == v[1]
+
+    def test_stage_masks_precomputed_and_consistent(self):
+        # The per-device staging mask is exchange-invariant; it must be built
+        # once in __init__ (hot path: one mask per device per halo exchange).
+        part = block_row_partition(9, 3)
+        recv = [np.array([3, 6]), np.array([0, 8]), np.array([1, 4])]
+        ex = StagedExchange(part, recv)
+        assert len(ex._stage_mask) == 3
+        for d, mask in enumerate(ex._stage_mask):
+            np.testing.assert_array_equal(
+                mask, part.assignment[ex.union_requested] == d
+            )
+            assert mask.sum() == ex.send_local[d].size

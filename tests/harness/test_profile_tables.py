@@ -1,0 +1,74 @@
+"""Tests for the trace-profile breakdown tables (repro.harness.profile)."""
+
+import numpy as np
+import pytest
+
+from repro.core.ca_gmres import ca_gmres
+from repro.harness.profile import (
+    cycle_breakdown_table,
+    kernel_breakdown_rows,
+    profile_breakdown_table,
+    region_breakdown_rows,
+    resolve_profile,
+)
+from repro.matrices import poisson2d
+
+
+@pytest.fixture(scope="module")
+def solve_result():
+    A = poisson2d(12)
+    b = np.ones(A.n_rows)
+    return ca_gmres(A, b, s=3, m=9, basis="monomial", max_restarts=2)
+
+
+class TestResolveProfile:
+    def test_accepts_solve_result(self, solve_result):
+        profile = resolve_profile(solve_result)
+        assert "regions" in profile and "kernels" in profile
+
+    def test_accepts_bare_dict(self, solve_result):
+        profile = solve_result.profile
+        assert resolve_profile(profile) is profile
+
+    def test_rejects_other_types(self):
+        with pytest.raises(TypeError):
+            resolve_profile(42)
+
+
+class TestBreakdownRows:
+    def test_region_rows_match_timers(self, solve_result):
+        rows = region_breakdown_rows(solve_result.profile)
+        by_name = {row[0]: row for row in rows}
+        # Region (inclusive) totals agree with the legacy ctx.timers view
+        # on these non-nested solver regions.
+        for name, seconds in solve_result.timers.items():
+            assert by_name[name][1] == pytest.approx(1e3 * seconds)
+
+    def test_region_rows_sorted_descending(self, solve_result):
+        rows = region_breakdown_rows(solve_result.profile)
+        inclusive = [row[1] for row in rows]
+        assert inclusive == sorted(inclusive, reverse=True)
+
+    def test_kernel_rows_costliest_first(self, solve_result):
+        rows = kernel_breakdown_rows(solve_result.profile)
+        times = [row[2] for row in rows]
+        assert times == sorted(times, reverse=True)
+        assert all(row[1] >= 1 for row in rows)  # launch counts
+
+    def test_kernel_rows_top_limits(self, solve_result):
+        assert len(kernel_breakdown_rows(solve_result.profile, top=3)) == 3
+
+
+class TestTables:
+    def test_profile_breakdown_table_sections(self, solve_result):
+        text = profile_breakdown_table(solve_result, title="demo")
+        assert "demo" in text
+        assert "per-kernel" in text
+        assert "PCIe" in text
+        assert "spmv" in text or "mpk" in text
+
+    def test_cycle_breakdown_table(self, solve_result):
+        text = cycle_breakdown_table(solve_result)
+        # One row per restart cycle.
+        lines = [ln for ln in text.splitlines() if ln and ln[0].isdigit()]
+        assert len(lines) == solve_result.n_restarts

@@ -48,6 +48,31 @@ class TestConstruction:
         with pytest.raises(ValueError, match="column index"):
             CsrMatrix((2, 2), [0, 1, 2], [0, 2], [1.0, 2.0])
 
+    def test_rejects_negative_col_index(self):
+        # A negative index would silently wrap in matvec's fancy indexing
+        # (selecting the *last* column) instead of failing construction.
+        with pytest.raises(ValueError, match="indices.*negative"):
+            CsrMatrix((2, 2), [0, 1, 2], [0, -1], [1.0, 2.0])
+
+    def test_rejects_negative_indptr_start(self):
+        with pytest.raises(ValueError, match="indptr.*negative"):
+            CsrMatrix((2, 2), [-1, 1, 2], [0, 1], [1.0, 2.0])
+
+    def test_extract_rows_rejects_negative(self):
+        A = random_csr(4, 4, 8)
+        with pytest.raises(ValueError, match="row_ids.*negative"):
+            A.extract_rows([1, -2])
+
+    def test_permute_rejects_negative(self):
+        A = random_csr(3, 3, 5)
+        with pytest.raises(ValueError, match="perm.*negative"):
+            A.permute([0, -1, 2])
+
+    def test_permute_rejects_out_of_range(self):
+        A = random_csr(3, 3, 5)
+        with pytest.raises(ValueError, match="perm entries"):
+            A.permute([0, 3, 2])
+
 
 class TestMatvec:
     def test_against_dense(self):

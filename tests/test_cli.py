@@ -34,6 +34,36 @@ class TestCli:
         assert "time/restart" in out
         assert code in (0, 1)
 
+    def test_trace_writes_chrome_trace_and_breakdown(self, tmp_path, capsys):
+        import json
+
+        code = main(
+            ["trace", "--matrix", "poisson2d", "--nx", "12", "--solver",
+             "ca_gmres", "--gpus", "2", "--m", "9", "--s", "3",
+             "--max-restarts", "2", "--out", str(tmp_path)]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "per-kernel" in out and "regions" in out and "PCIe" in out
+        trace_path = tmp_path / "trace_ca_gmres_poisson2d.json"
+        assert trace_path.exists()
+        doc = json.loads(trace_path.read_text())
+        lanes = {
+            e["args"]["name"]
+            for e in doc["traceEvents"]
+            if e.get("name") == "thread_name"
+        }
+        assert {"host", "gpu0", "gpu1", "pcie"} <= lanes
+        assert (tmp_path / "trace_ca_gmres_poisson2d.txt").exists()
+
+    def test_trace_gmres_solver(self, tmp_path, capsys):
+        code = main(
+            ["trace", "--solver", "gmres", "--nx", "10", "--m", "8",
+             "--max-restarts", "1", "--out", str(tmp_path)]
+        )
+        assert code == 0
+        assert (tmp_path / "trace_gmres_poisson2d.json").exists()
+
     def test_unknown_command_rejected(self):
         with pytest.raises(SystemExit):
             main(["frobnicate"])
