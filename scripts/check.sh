@@ -1,10 +1,19 @@
 #!/usr/bin/env bash
 # Repo check: lint (when ruff is available) + tier-1 test suite.
 #
-# Usage: scripts/check.sh [extra pytest args...]
+# Usage: scripts/check.sh [--faults] [extra pytest args...]
+#
+#   --faults   additionally run a small fault-injection smoke campaign
+#              (python -m repro faults) after the test suite.
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
+
+run_faults_smoke=0
+if [[ "${1:-}" == "--faults" ]]; then
+    run_faults_smoke=1
+    shift
+fi
 
 if command -v ruff >/dev/null 2>&1; then
     echo "== ruff =="
@@ -15,3 +24,9 @@ fi
 
 echo "== pytest (tier 1) =="
 PYTHONPATH=src python -m pytest -x -q "$@"
+
+if [[ "$run_faults_smoke" == 1 ]]; then
+    echo "== fault-injection smoke campaign =="
+    PYTHONPATH=src python -m repro faults \
+        --nx 16 --m 12 --s 4 --max-restarts 40 --trials 2 --rate 1e-3
+fi

@@ -7,6 +7,7 @@ Usage::
     python -m repro solve --matrix g3_circuit --solver ca_gmres --gpus 3
     python -m repro suite                     # Fig. 12 matrix table
     python -m repro trace --solver ca_gmres   # Chrome trace + breakdown
+    python -m repro faults --seed 0 --rate 1e-3   # fault campaign
 
 The figure commands drive the same code as ``pytest benchmarks/`` but
 without the pytest machinery, so they are convenient for interactive use.
@@ -27,7 +28,7 @@ def _cmd_list(_args) -> int:
     print("experiments:")
     for name, doc in sorted(_EXPERIMENTS.items()):
         print(f"  {name:8s} {doc}")
-    print("\nother commands: solve, suite, trace")
+    print("\nother commands: solve, suite, trace, faults")
     return 0
 
 
@@ -265,6 +266,35 @@ def _cmd_trace(args) -> int:
     return 0
 
 
+def _cmd_faults(args) -> int:
+    """Run a deterministic fault-injection campaign; print recovery tables."""
+    import json
+
+    from repro.faults.campaign import campaign_tables, run_campaign
+
+    kinds = tuple(k.strip() for k in args.kinds.split(",") if k.strip())
+    campaign = run_campaign(
+        solver=args.solver, problem=args.matrix, nx=args.nx,
+        n_gpus=args.gpus, seed=args.seed, rate=args.rate, kinds=kinds,
+        trials=args.trials, s=args.s, m=args.m, tol=args.tol,
+        max_restarts=args.max_restarts, stall_factor=args.stall_factor,
+        max_faults=args.max_faults,
+    )
+    print(campaign_tables(campaign))
+    if args.out:
+        out_dir = Path(args.out)
+        out_dir.mkdir(parents=True, exist_ok=True)
+        path = out_dir / (
+            f"faults_{args.solver}_{args.matrix}_seed{args.seed}.json"
+        )
+        path.write_text(json.dumps(campaign, indent=2) + "\n")
+        print(f"\nwrote {path}")
+    # A campaign "fails" only when a fault went unrecovered without being
+    # reported as such — aborted trials are a *successful* structured
+    # outcome, so the exit code reflects crashes alone (exceptions).
+    return 0
+
+
 _EXPERIMENTS = {
     "fig06": "MPK surface-to-volume ratio vs s",
     "fig08": "MPK run time vs s (with ASCII plot)",
@@ -281,6 +311,7 @@ _HANDLERS = {
     "suite": _cmd_suite,
     "solve": _cmd_solve,
     "trace": _cmd_trace,
+    "faults": _cmd_faults,
 }
 
 
@@ -318,6 +349,35 @@ def main(argv: list[str] | None = None) -> int:
     p.add_argument("--tol", type=float, default=1e-4)
     p.add_argument("--max-restarts", type=int, default=3)
     p.add_argument("--out", default=None, help="output directory (default results/)")
+    p = sub.add_parser(
+        "faults",
+        help="run a seeded fault-injection campaign and print the "
+             "injection/recovery summary tables",
+    )
+    p.add_argument("--solver", default="ca_gmres",
+                   choices=["gmres", "ca_gmres", "pipelined"])
+    p.add_argument("--matrix", default="poisson2d",
+                   choices=["poisson2d", "poisson3d", "convdiff2d"])
+    p.add_argument("--nx", type=int, default=30,
+                   help="stencil grid dimension (n = nx^2 or nx^3)")
+    p.add_argument("--gpus", type=int, default=2)
+    p.add_argument("--seed", type=int, default=0,
+                   help="root seed; trial i uses seed+i")
+    p.add_argument("--rate", type=float, default=1e-3,
+                   help="per-opportunity fault probability")
+    p.add_argument("--kinds", default="corrupt,poison,stall",
+                   help="comma-separated fault kinds (add 'dropout' for "
+                        "hard device loss)")
+    p.add_argument("--trials", type=int, default=3)
+    p.add_argument("--s", type=int, default=5)
+    p.add_argument("--m", type=int, default=20)
+    p.add_argument("--tol", type=float, default=1e-6)
+    p.add_argument("--max-restarts", type=int, default=80)
+    p.add_argument("--stall-factor", type=float, default=8.0)
+    p.add_argument("--max-faults", type=int, default=None,
+                   help="cap on rate-drawn injections per trial")
+    p.add_argument("--out", default=None,
+                   help="also write the campaign JSON to this directory")
     args = parser.parse_args(argv)
     return _HANDLERS[args.command](args)
 

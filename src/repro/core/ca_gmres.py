@@ -58,6 +58,7 @@ from .balance import balance_matrix
 from .basis import build_change_of_basis, ritz_values
 from .convergence import ConvergenceHistory, SolveResult
 from .gmres import (
+    checked_true_residual,
     compute_residual,
     gathered_solution,
     normalize_first_column,
@@ -65,6 +66,12 @@ from .gmres import (
     update_solution,
 )
 from .lsq import hessenberg_lstsq
+from .resilience import (
+    MAX_PANEL_RETRIES,
+    RECOVERABLE_FAULTS,
+    guard_finite,
+    run_cycle_resilient,
+)
 
 __all__ = ["ca_gmres"]
 
@@ -91,6 +98,7 @@ def ca_gmres(
     collect_tsqr_errors: bool = False,
     adaptive_s: bool = False,
     preconditioner=None,
+    max_panel_retries: int = MAX_PANEL_RETRIES,
 ) -> SolveResult:
     """Solve ``A x = b`` with CA-GMRES(s, m) on simulated GPUs.
 
@@ -134,6 +142,11 @@ def ca_gmres(
         methods (see :mod:`repro.precond`).  Because the preconditioner is
         *folded* into the operator up front, MPK/BOrth/TSQR run unchanged —
         the CA-compatible preconditioning route.
+    max_panel_retries
+        With fault resilience enabled (see
+        :class:`~repro.gpu.context.MultiGpuContext`), how many times one
+        poisoned block is regenerated (MPK rerun + re-orthogonalization)
+        before escalating to a restart-cycle redo.
 
     Returns
     -------
@@ -213,16 +226,26 @@ def ca_gmres(
     iterations = 0
     breakdowns = 0
     tsqr_errors: list[dict] = []
+    unrecovered: list[dict] = []
     adapt_state = {"s_eff": s, "history": []} if adaptive_s else None
 
     for _ in range(max_restarts):
         ctx.mark_cycle()
         if basis == "newton" and shifts is None:
             # Shift-seeding cycle: standard GMRES, Ritz values from its H.
-            info = run_gmres_cycle(
-                ctx, dmat, V, x, b_dist, m, abs_tol,
-                history=history, iteration_offset=iterations,
+            def cycle(offset=iterations):
+                info = run_gmres_cycle(
+                    ctx, dmat, V, x, b_dist, m, abs_tol,
+                    history=history, iteration_offset=offset,
+                )
+                return info, checked_true_residual(ctx, A_solve, b_solve, x)
+
+            outcome, aborted = run_cycle_resilient(
+                ctx, cycle, x, history, unrecovered
             )
+            if aborted:
+                break
+            info, true_res = outcome
             if info.iterations > 0:
                 square = info.hessenberg[: info.iterations, : info.iterations]
                 ctx.host.charge_small_dense("eig", info.iterations)
@@ -232,19 +255,25 @@ def ca_gmres(
             restarts += 1
             iterations += info.iterations
         else:
-            cycle_iters, cycle_breakdowns = _ca_cycle(
-                ctx, dmat, V, x, b_dist, s, m, basis, shifts,
-                tsqr_method, tsqr_variant, borth_method, reorth,
-                use_mpk, get_mpk, abs_tol, history, iterations,
-                on_breakdown, collect_tsqr_errors, tsqr_errors, restarts,
-                adapt_state,
+            def cycle(offset=iterations, restart_index=restarts):
+                result = _ca_cycle(
+                    ctx, dmat, V, x, b_dist, s, m, basis, shifts,
+                    tsqr_method, tsqr_variant, borth_method, reorth,
+                    use_mpk, get_mpk, abs_tol, history, offset,
+                    on_breakdown, collect_tsqr_errors, tsqr_errors,
+                    restart_index, adapt_state, max_panel_retries,
+                )
+                return result, checked_true_residual(ctx, A_solve, b_solve, x)
+
+            outcome, aborted = run_cycle_resilient(
+                ctx, cycle, x, history, unrecovered
             )
+            if aborted:
+                break
+            (cycle_iters, cycle_breakdowns), true_res = outcome
             restarts += 1
             iterations += cycle_iters
             breakdowns += cycle_breakdowns
-        true_res = float(
-            np.linalg.norm(b_solve - A_solve.matvec(gathered_solution(x)))
-        )
         history.record_true(iterations, true_res)
         if true_res <= abs_tol:
             converged = True
@@ -256,7 +285,7 @@ def ca_gmres(
         details["s_history"] = adapt_state["history"]
     return _finish(
         ctx, x, bal, converged, restarts, iterations, history, breakdowns,
-        details, preconditioner,
+        details, preconditioner, unrecovered,
     )
 
 
@@ -265,11 +294,12 @@ def _ca_cycle(
     tsqr_method, tsqr_variant, borth_method, reorth,
     use_mpk, get_mpk, abs_tol, history, iteration_offset,
     on_breakdown, collect_errors, error_log, restart_index,
-    adapt_state=None,
+    adapt_state=None, max_panel_retries=MAX_PANEL_RETRIES,
 ) -> tuple[int, int]:
     """One CA-GMRES restart cycle; returns (iterations, breakdowns)."""
     with ctx.region("spmv"):
         beta = compute_residual(ctx, dmat, x, b_dist, V)
+    guard_finite(ctx, beta, "cycle residual norm")
     if beta == 0.0:
         return 0, 0
     with ctx.region("borth"):
@@ -287,18 +317,34 @@ def _ca_cycle(
         s_block = adapt_state["s_eff"] if adapt_state is not None else s
         s_cur = min(s_block, m - j)
         ops = _block_shift_ops(basis, shifts, s_cur)
-        # --- candidate generation -------------------------------------
-        if use_mpk:
-            with ctx.region("mpk"):
-                get_mpk(s_cur).run(V, j, ops)
-        else:
-            with ctx.region("spmv"):
-                _spmv_block(ctx, dmat, V, j, ops)
-        # --- orthogonalization ----------------------------------------
-        C, R, block_breakdowns = _orthogonalize(
-            ctx, V, j, s_cur, tsqr_method, tsqr_variant, borth_method,
-            reorth, on_breakdown, collect_errors, error_log, restart_index,
-        )
+        # Candidate generation + orthogonalization, as one recoverable
+        # unit: a fault detected anywhere in the block (corrupted MPK
+        # exchange, poisoned kernel output caught by the BOrth/TSQR
+        # guards) regenerates the candidates from the still-clean
+        # V[:, :j+1] and re-orthogonalizes — the "panel retry" layer.
+        panel_attempts = 0
+        while True:
+            try:
+                if use_mpk:
+                    with ctx.region("mpk"):
+                        get_mpk(s_cur).run(V, j, ops)
+                else:
+                    with ctx.region("spmv"):
+                        _spmv_block(ctx, dmat, V, j, ops)
+                C, R, block_breakdowns = _orthogonalize(
+                    ctx, V, j, s_cur, tsqr_method, tsqr_variant, borth_method,
+                    reorth, on_breakdown, collect_errors, error_log,
+                    restart_index,
+                )
+                break
+            except RECOVERABLE_FAULTS:
+                if panel_attempts >= max_panel_retries:
+                    raise  # escalate to the cycle-redo layer
+                panel_attempts += 1
+                ctx.faults.note_recovery(
+                    "panel-retry", time=ctx.current_time(),
+                    block_start=j, attempt=panel_attempts,
+                )
         breakdowns += block_breakdowns
         if adapt_state is not None:
             _adapt_block_length(adapt_state, R, s, s_cur, block_breakdowns)
@@ -382,19 +428,24 @@ def _orthogonalize(
     C_total = np.zeros((j + 1, s_cur), dtype=np.float64)
     R_total = np.eye(s_cur, dtype=np.float64)
     breakdowns = 0
+    check = ctx.resilience_enabled
     for _ in range(max(reorth, 1)):
         with ctx.region("borth"):
             C_pass = borth(ctx, q_panels, v_panels, method=borth_method)
+        guard_finite(ctx, C_pass, "BOrth coefficients")
         if collect_errors:
             pre = _gather_panel(V, j + 1, j + s_cur + 1)
         with ctx.region("tsqr"):
             try:
-                R_pass = tsqr(ctx, v_panels, method=tsqr_method, variant=tsqr_variant)
+                R_pass = tsqr(
+                    ctx, v_panels, method=tsqr_method, variant=tsqr_variant,
+                    check_finite=check,
+                )
             except CholeskyBreakdown:
                 if on_breakdown == "raise":
                     raise
                 breakdowns += 1
-                R_pass = tsqr(ctx, v_panels, method="caqr")
+                R_pass = tsqr(ctx, v_panels, method="caqr", check_finite=check)
         if collect_errors:
             post = _gather_panel(V, j + 1, j + s_cur + 1)
             error_log.append(
@@ -433,7 +484,7 @@ def _recover_hessenberg(S_full, G_full, t: int) -> np.ndarray:
 
 def _finish(
     ctx, x, bal, converged, restarts, iterations, history, breakdowns,
-    details, preconditioner=None,
+    details, preconditioner=None, unrecovered=None,
 ):
     x_host = gathered_solution(x)
     if bal is not None:
@@ -442,6 +493,8 @@ def _finish(
         x_host = preconditioner.recover(x_host)
     details = dict(details)
     details["profile"] = ctx.trace.profile()
+    if ctx.faults.has_activity() or unrecovered:
+        details["faults"] = ctx.faults.report(unrecovered)
     return SolveResult(
         x=x_host,
         converged=converged,

@@ -70,6 +70,17 @@ class SolveResult:
         per-transfer, and per-restart-cycle; see
         :meth:`repro.gpu.trace.TraceRecorder.profile`), also reachable as
         :attr:`profile`.
+
+        When fault injection/resilience saw any activity, drivers also
+        attach ``details["faults"]`` (see
+        :meth:`repro.faults.injector.FaultInjector.report`): lists of
+        ``injected`` / ``detected`` / ``recovered`` / ``unrecovered``
+        event records, the ``lost_devices``, an ``aborted`` flag (True
+        when an unrecoverable fault stopped the solve early — the solver
+        returns the last checkpointed iterate with ``converged=False``
+        instead of raising), and summary ``counts``.  The key is *absent*
+        for fault-free runs, so a zero-rate plan leaves results
+        bit-identical.
     """
 
     x: np.ndarray
@@ -113,6 +124,18 @@ class SolveResult:
             )
         if self.breakdowns:
             lines.append(f"breakdowns     : {self.breakdowns}")
+        faults = self.details.get("faults")
+        if faults:
+            c = faults["counts"]
+            lines.append(
+                f"faults         : {c['injected']} injected, "
+                f"{c['detected']} detected, {c['recovered']} recovered, "
+                f"{c['unrecovered']} unrecovered"
+            )
+            if faults["lost_devices"]:
+                lines.append(
+                    f"lost devices   : {', '.join(faults['lost_devices'])}"
+                )
         lines.append(
             f"simulated time : {1e3 * self.total_time:.3f} ms "
             f"({1e3 * self.time_per_restart():.3f} ms / restart loop)"

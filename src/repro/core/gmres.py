@@ -27,8 +27,9 @@ from ..sparse.csr import CsrMatrix
 from .balance import balance_matrix
 from .convergence import ConvergenceHistory, SolveResult
 from .lsq import GivensHessenbergSolver
+from .resilience import guard_finite, run_cycle_resilient
 
-__all__ = ["gmres", "run_gmres_cycle", "CycleInfo"]
+__all__ = ["gmres", "run_gmres_cycle", "CycleInfo", "checked_true_residual"]
 
 
 @dataclass
@@ -91,6 +92,17 @@ def gathered_solution(x: DistVector) -> np.ndarray:
     return out
 
 
+def checked_true_residual(ctx, A_solve, b_solve, x) -> float:
+    """True residual norm at a restart boundary (uncosted diagnostic).
+
+    With resilience enabled, a non-finite value — a poisoned solution
+    update — raises for the cycle-redo machinery.
+    """
+    true_res = float(np.linalg.norm(b_solve - A_solve.matvec(gathered_solution(x))))
+    guard_finite(ctx, true_res, "true residual")
+    return true_res
+
+
 def run_gmres_cycle(
     ctx: MultiGpuContext,
     dmat: DistributedMatrix,
@@ -111,6 +123,7 @@ def run_gmres_cycle(
     """
     with ctx.region("spmv"):
         beta = compute_residual(ctx, dmat, x, b, V)
+    guard_finite(ctx, beta, "cycle residual norm")
     if beta == 0.0:
         return CycleInfo(beta=0.0, iterations=0, hessenberg=np.zeros((1, 0)), estimate=0.0)
     with ctx.region("orth"):
@@ -130,6 +143,7 @@ def run_gmres_cycle(
                 method=orth_method,
                 gemv_variant=gemv_variant,
             )
+        guard_finite(ctx, h, "Hessenberg column")
         H[: j + 2, j] = h
         with ctx.region("lsq"):
             ctx.host.charge_small_dense("lstsq_hessenberg", j + 1)
@@ -248,45 +262,55 @@ def gmres(
     converged = False
     restarts = 0
     iterations = 0
+    unrecovered: list[dict] = []
     for _ in range(max_restarts):
         ctx.mark_cycle()
-        info = run_gmres_cycle(
-            ctx,
-            dmat,
-            V,
-            x,
-            b_dist,
-            m,
-            abs_tol,
-            orth_method=orth_method,
-            gemv_variant=gemv_variant,
-            history=history,
-            iteration_offset=iterations,
-        )
+
+        def cycle(offset=iterations):
+            info = run_gmres_cycle(
+                ctx,
+                dmat,
+                V,
+                x,
+                b_dist,
+                m,
+                abs_tol,
+                orth_method=orth_method,
+                gemv_variant=gemv_variant,
+                history=history,
+                iteration_offset=offset,
+            )
+            # True residual at the restart boundary (uncosted diagnostic).
+            return info, checked_true_residual(ctx, A_solve, b_solve, x)
+
+        outcome, aborted = run_cycle_resilient(ctx, cycle, x, history, unrecovered)
+        if aborted:
+            break
+        info, true_res = outcome
         restarts += 1
         iterations += info.iterations
-        # True residual at the restart boundary (uncosted diagnostic).
-        true_res = float(
-            np.linalg.norm(b_solve - A_solve.matvec(gathered_solution(x)))
-        )
         history.record_true(iterations, true_res)
         if true_res <= abs_tol:
             converged = True
             break
     return _finish(
-        ctx, x, bal, converged, restarts, iterations, history, 0, preconditioner
+        ctx, x, bal, converged, restarts, iterations, history, 0, preconditioner,
+        unrecovered,
     )
 
 
 def _finish(
     ctx, x, bal, converged, restarts, iterations, history, breakdowns,
-    preconditioner=None,
+    preconditioner=None, unrecovered=None,
 ):
     x_host = gathered_solution(x)
     if bal is not None:
         x_host = bal.unscale_solution(x_host)
     if preconditioner is not None:
         x_host = preconditioner.recover(x_host)
+    details = {"profile": ctx.trace.profile()}
+    if ctx.faults.has_activity() or unrecovered:
+        details["faults"] = ctx.faults.report(unrecovered)
     return SolveResult(
         x=x_host,
         converged=converged,
@@ -296,5 +320,5 @@ def _finish(
         timers=dict(ctx.timers),
         counters=ctx.counters.snapshot(),
         breakdowns=breakdowns,
-        details={"profile": ctx.trace.profile()},
+        details=details,
     )

@@ -42,8 +42,14 @@ from ..orth.errors import OrthogonalizationError
 from ..sparse.csr import CsrMatrix
 from .balance import balance_matrix
 from .convergence import ConvergenceHistory, SolveResult
-from .gmres import compute_residual, gathered_solution, update_solution
+from .gmres import (
+    checked_true_residual,
+    compute_residual,
+    gathered_solution,
+    update_solution,
+)
 from .lsq import GivensHessenbergSolver
+from .resilience import guard_finite, run_cycle_resilient
 
 __all__ = ["pipelined_gmres"]
 
@@ -105,22 +111,30 @@ def pipelined_gmres(
     converged = False
     restarts = 0
     iterations = 0
+    unrecovered: list[dict] = []
     for _ in range(max_restarts):
         ctx.mark_cycle()
-        j_used = _pipelined_cycle(
-            ctx, dmat, V, x, b_dist, m, abs_tol, gemv_variant, history,
-            iterations,
-        )
+
+        def cycle(offset=iterations):
+            j_used = _pipelined_cycle(
+                ctx, dmat, V, x, b_dist, m, abs_tol, gemv_variant, history,
+                offset,
+            )
+            return j_used, checked_true_residual(ctx, A_solve, b_solve, x)
+
+        outcome, aborted = run_cycle_resilient(ctx, cycle, x, history, unrecovered)
+        if aborted:
+            break
+        j_used, true_res = outcome
         restarts += 1
         iterations += j_used
-        true_res = float(
-            np.linalg.norm(b_solve - A_solve.matvec(gathered_solution(x)))
-        )
         history.record_true(iterations, true_res)
         if true_res <= abs_tol:
             converged = True
             break
-    return _finish(ctx, x, bal, converged, restarts, iterations, history)
+    return _finish(
+        ctx, x, bal, converged, restarts, iterations, history, unrecovered
+    )
 
 
 def _deferred_norm(ctx, cols, start_spmv):
@@ -157,6 +171,7 @@ def _pipelined_cycle(
 
         with ctx.region("orth"):
             beta_j = _deferred_norm(ctx, u_j, start_spmv)
+            guard_finite(ctx, beta_j, "pipelined basis norm")
             if beta_j == 0.0:
                 raise OrthogonalizationError("pipelined GMRES: basis vanished")
             # Normalize u_j -> q_j and rescale the in-flight SpMV result
@@ -189,6 +204,7 @@ def _pipelined_cycle(
                 for pv, wc in zip(prev, V.column(j + 1))
             ]
             r = ctx.allreduce_sum(partials)
+            guard_finite(ctx, r, "pipelined projection coefficients")
             for bc, (pv, wc) in zip(
                 ctx.broadcast(r), zip(prev, V.column(j + 1))
             ):
@@ -213,10 +229,13 @@ def _pipelined_cycle(
     return j_used
 
 
-def _finish(ctx, x, bal, converged, restarts, iterations, history):
+def _finish(ctx, x, bal, converged, restarts, iterations, history, unrecovered=None):
     x_host = gathered_solution(x)
     if bal is not None:
         x_host = bal.unscale_solution(x_host)
+    details = {"profile": ctx.trace.profile()}
+    if ctx.faults.has_activity() or unrecovered:
+        details["faults"] = ctx.faults.report(unrecovered)
     return SolveResult(
         x=x_host,
         converged=converged,
@@ -225,5 +244,5 @@ def _finish(ctx, x, bal, converged, restarts, iterations, history):
         history=history,
         timers=dict(ctx.timers),
         counters=ctx.counters.snapshot(),
-        details={"profile": ctx.trace.profile()},
+        details=details,
     )

@@ -1,0 +1,165 @@
+"""Solver-side fault detection and recovery.
+
+The injection layer (:mod:`repro.faults`) corrupts data and timing at the
+machine level; this module is the solvers' answer.  Three nested layers:
+
+1. **Transfer retry** — the staged exchange re-issues corrupted transfers
+   (:class:`~repro.dist.exchange.StagedExchange`; not in this module).
+2. **Panel retry** — CA-GMRES re-runs a poisoned block (regenerate the MPK
+   candidates, re-orthogonalize) a bounded number of times.
+3. **Cycle redo** — every solver checkpoints the solution vector at each
+   restart boundary; a fault that escapes the inner layers rolls the cycle
+   back and replays it (:func:`run_cycle_resilient`).
+
+Detection is by *uncosted* host-side ``np.isfinite`` guards
+(:func:`guard_finite`) on the small quantities every cycle already
+materializes on the host — residual norms, Hessenberg columns, BOrth
+coefficients, TSQR R factors — so the guards never perturb the simulated
+timeline: with a zero-rate plan, results and timings are bit-identical to
+an unguarded run.
+
+Unrecoverable faults (device dropout, exhausted retry budgets) do not
+raise out of the solvers; they abort the solve and surface as the
+structured ``SolveResult.details["faults"]`` report (see
+:meth:`repro.faults.injector.FaultInjector.report`).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..faults.errors import (
+    DeviceLost,
+    SilentDataCorruption,
+    TransferCorruption,
+)
+from ..orth.errors import NonFinitePanelError
+
+__all__ = [
+    "MAX_CYCLE_REDOS",
+    "MAX_PANEL_RETRIES",
+    "RECOVERABLE_FAULTS",
+    "guard_finite",
+    "run_cycle_resilient",
+    "snapshot_solution",
+    "restore_solution",
+]
+
+#: Exceptions the retry/checkpoint machinery can recover from.  Everything
+#: else (notably :class:`DeviceLost`) is terminal.
+RECOVERABLE_FAULTS = (TransferCorruption, SilentDataCorruption, NonFinitePanelError)
+
+#: How many times one restart cycle may be rolled back and replayed before
+#: the solve gives up and reports the fault as unrecovered.
+MAX_CYCLE_REDOS = 3
+
+#: How many times CA-GMRES re-runs one poisoned block before escalating to
+#: a cycle redo.
+MAX_PANEL_RETRIES = 2
+
+
+def guard_finite(ctx, value, what: str, site: str | None = None) -> None:
+    """Uncosted NaN/Inf check on host-side solver state.
+
+    A no-op unless the context has resilience enabled.  On failure the
+    detection is logged with the injector (and mirrored into the trace's
+    fault lane) and :class:`SilentDataCorruption` raised for the caller's
+    retry machinery.
+    """
+    if not ctx.resilience_enabled:
+        return
+    arr = np.asarray(value)
+    if arr.size and not np.all(np.isfinite(arr)):
+        ctx.faults.note_detection(what, time=ctx.current_time(), site=site)
+        raise SilentDataCorruption(f"non-finite {what}")
+
+
+def snapshot_solution(x) -> list[np.ndarray]:
+    """Uncosted host copy of the distributed solution (cycle checkpoint)."""
+    return [p.data.copy() for p in x.parts()]
+
+
+def restore_solution(x, snapshot: list[np.ndarray]) -> None:
+    """Write a :func:`snapshot_solution` checkpoint back into ``x``."""
+    for p, saved in zip(x.parts(), snapshot):
+        p.data[...] = saved
+
+
+def _snapshot_history(history) -> tuple[int, int]:
+    return len(history.estimates), len(history.true_residuals)
+
+
+def _restore_history(history, snap: tuple[int, int]) -> None:
+    del history.estimates[snap[0] :]
+    del history.true_residuals[snap[1] :]
+
+
+def run_cycle_resilient(
+    ctx, cycle, x, history, unrecovered: list[dict],
+    max_redos: int = MAX_CYCLE_REDOS,
+):
+    """Run one restart cycle with checkpoint/redo semantics.
+
+    Parameters
+    ----------
+    ctx
+        The execution context (its injector logs recoveries).
+    cycle
+        Zero-argument callable performing the cycle; may raise any of
+        :data:`RECOVERABLE_FAULTS` or :class:`DeviceLost`.
+    x
+        Distributed solution vector — checkpointed before the attempt and
+        rolled back on failure (a fault mid-cycle must not leave a
+        half-updated iterate behind).
+    history
+        The convergence history; estimate entries recorded by a failed
+        attempt are rolled back with the solution.
+    unrecovered
+        Output list: a terminal failure appends one structured record
+        (``error``/``message``/``time``[/``site``]) here.
+    max_redos
+        Redo budget per cycle.
+
+    Returns
+    -------
+    (result, aborted)
+        ``result`` is ``cycle()``'s return value (``None`` when aborted);
+        ``aborted`` is True when the solve must stop and report.
+    """
+    if not ctx.resilience_enabled:
+        return cycle(), False
+    checkpoint = snapshot_solution(x)
+    hist_mark = _snapshot_history(history)
+    for attempt in range(max_redos + 1):
+        try:
+            return cycle(), False
+        except RECOVERABLE_FAULTS as exc:
+            restore_solution(x, checkpoint)
+            _restore_history(history, hist_mark)
+            if attempt == max_redos:
+                unrecovered.append(
+                    {
+                        "error": type(exc).__name__,
+                        "message": str(exc),
+                        "time": ctx.current_time(),
+                        "action": "cycle-redo budget exhausted",
+                    }
+                )
+                return None, True
+            ctx.faults.note_recovery(
+                "cycle-redo", time=ctx.current_time(),
+                cause=type(exc).__name__, attempt=attempt + 1,
+            )
+        except DeviceLost as exc:
+            restore_solution(x, checkpoint)
+            _restore_history(history, hist_mark)
+            unrecovered.append(
+                {
+                    "error": "DeviceLost",
+                    "site": exc.site,
+                    "message": str(exc),
+                    "time": ctx.current_time(),
+                }
+            )
+            return None, True
+    raise AssertionError("unreachable")  # pragma: no cover

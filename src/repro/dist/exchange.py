@@ -18,6 +18,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from ..faults.errors import TransferCorruption
 from ..gpu.context import MultiGpuContext
 from ..gpu.device import DeviceArray
 from ..order.partition import Partition
@@ -36,9 +37,22 @@ class StagedExchange:
         ``recv_global[d]`` lists the *global* indices of the non-owned
         elements device ``d`` must receive (sorted, unique, none owned
         by ``d``).
+    max_transfer_retries
+        How many times to re-issue a transfer that arrives corrupted
+        (detected via ``ctx.validate_transfers``).  Corruption is
+        transient — the source buffer is intact — so a retry delivers
+        clean bytes at the cost of one extra (costed) bus message.  After
+        the budget is exhausted :class:`TransferCorruption` propagates to
+        the solver's panel/cycle retry machinery.
     """
 
-    def __init__(self, partition: Partition, recv_global: list[np.ndarray]):
+    def __init__(
+        self,
+        partition: Partition,
+        recv_global: list[np.ndarray],
+        max_transfer_retries: int = 2,
+    ):
+        self.max_transfer_retries = int(max_transfer_retries)
         if len(recv_global) != partition.n_parts:
             raise ValueError("recv_global must have one entry per part")
         self.partition = partition
@@ -85,6 +99,23 @@ class StagedExchange:
         return self.gather_volume() + self.scatter_volume()
 
     # -- execution ----------------------------------------------------------
+    def _retried(self, ctx: MultiGpuContext, transfer, what: str):
+        """Run ``transfer()``, re-issuing it on transient corruption."""
+        last = None
+        for attempt in range(self.max_transfer_retries + 1):
+            try:
+                result = transfer()
+            except TransferCorruption as exc:
+                last = exc
+                continue
+            if attempt:
+                ctx.faults.note_recovery(
+                    "transfer-retry", time=ctx.current_time(), what=what,
+                    attempts=attempt,
+                )
+            return result
+        raise last
+
     def exchange(
         self, ctx: MultiGpuContext, x_parts: list[DeviceArray]
     ) -> list[np.ndarray]:
@@ -92,7 +123,9 @@ class StagedExchange:
 
         Returns ``received[d]``: the values of ``recv_global[d]`` now resident
         on device ``d`` (already transferred; the caller places them).
-        Issues at most one d2h and one h2d message per device.
+        Issues at most one d2h and one h2d message per device — plus up to
+        ``max_transfer_retries`` re-issues per transfer when the context
+        detects corrupted payloads.
         """
         if len(x_parts) != self.partition.n_parts:
             raise ValueError("x_parts must have one entry per device")
@@ -103,7 +136,9 @@ class StagedExchange:
                 continue
             compressed = DeviceArray(x_parts[d].data[send], dev)
             dev.charge_kernel("copy", "cublas", n=send.size)
-            arrived = ctx.d2h(compressed)
+            arrived = self._retried(
+                ctx, lambda: ctx.d2h(compressed), f"gather d2h {dev.name}"
+            )
             stage[self._stage_mask[d]] = arrived
         received: list[np.ndarray] = []
         for d, dev in enumerate(ctx.devices):
@@ -111,6 +146,8 @@ class StagedExchange:
             if pos.size == 0:
                 received.append(np.empty(0, dtype=np.float64))
                 continue
-            arrived = ctx.h2d(dev, stage[pos])
+            arrived = self._retried(
+                ctx, lambda: ctx.h2d(dev, stage[pos]), f"scatter h2d {dev.name}"
+            )
             received.append(arrived.data)
         return received

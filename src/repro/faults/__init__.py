@@ -1,0 +1,43 @@
+"""Deterministic fault injection and solver resilience.
+
+The paper's machine (three M2090s on a shared PCIe gen-2 bus) is exactly
+the kind of node where production solver services see transient transfer
+corruption, kernel-level NaN poisoning, thermal stalls, and outright
+device loss.  The reproduction executes every kernel in real float64 on a
+simulated timeline, which makes those failure modes *injectable on
+demand*: a :class:`FaultPlan` — either a seeded rate spec or an explicit
+script of ``(site, trigger, kind)`` events — hooks into
+``Device``/``Host`` kernel execution, the PCIe bus, and the staged halo
+exchange through a :class:`FaultInjector` owned by the
+:class:`~repro.gpu.context.MultiGpuContext`.
+
+Injection is **deterministic**: each site (``gpu0``.. , ``host``,
+``pcie``) owns an independent counter-seeded RNG stream, so the same seed
+replays the identical fault schedule, and a zero-rate plan is provably
+free (all guards are uncosted host-side checks).
+
+The solver side — NaN/Inf guards, bounded panel retries, restart-cycle
+checkpointing, and the structured ``SolveResult.details["faults"]``
+report — lives in :mod:`repro.core`; campaigns that exercise it live in
+:mod:`repro.faults.campaign` and behind ``python -m repro faults``.
+
+This module intentionally re-exports only the light pieces; import
+:mod:`repro.faults.campaign` explicitly for the campaign runner (it pulls
+in the solvers).
+"""
+
+from .errors import DeviceLost, FaultError, SilentDataCorruption, TransferCorruption
+from .injector import FAULT_LANE, FaultInjector
+from .plan import FAULT_KINDS, FaultEvent, FaultPlan
+
+__all__ = [
+    "FAULT_KINDS",
+    "FAULT_LANE",
+    "DeviceLost",
+    "FaultError",
+    "FaultEvent",
+    "FaultInjector",
+    "FaultPlan",
+    "SilentDataCorruption",
+    "TransferCorruption",
+]

@@ -1,0 +1,207 @@
+"""Fault-injection campaigns: repeated solves under a seeded fault plan.
+
+A campaign runs ``trials`` independent solves of one problem/solver
+configuration, each with its own deterministic :class:`FaultPlan` (trial
+``i`` uses ``seed + i``), and aggregates what was injected, detected,
+recovered, and lost.  Everything — fault schedules, numerics, simulated
+timings — is a pure function of the configuration, so the same seed
+reproduces the identical campaign dict, byte for byte.
+
+This module imports the solvers, so it is *not* re-exported from
+:mod:`repro.faults` (which the GPU layer imports); pull it in explicitly::
+
+    from repro.faults.campaign import run_campaign, campaign_tables
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+
+import numpy as np
+
+from .plan import DEFAULT_KINDS, FaultPlan
+
+__all__ = ["run_campaign", "run_trial", "campaign_tables"]
+
+
+def _solvers() -> dict:
+    from ..core.ca_gmres import ca_gmres
+    from ..core.gmres import gmres
+    from ..core.pipelined import pipelined_gmres
+
+    return {"gmres": gmres, "ca_gmres": ca_gmres, "pipelined": pipelined_gmres}
+
+
+def _problems() -> dict:
+    from ..matrices.stencil import convection_diffusion2d, poisson2d, poisson3d
+
+    return {
+        "poisson2d": poisson2d,
+        "poisson3d": poisson3d,
+        "convdiff2d": convection_diffusion2d,
+    }
+
+
+_EMPTY_FAULTS = {
+    "injected": [], "detected": [], "recovered": [], "unrecovered": [],
+    "lost_devices": [], "aborted": False,
+    "counts": {"injected": 0, "detected": 0, "recovered": 0, "unrecovered": 0},
+}
+
+
+def run_trial(
+    solver: str = "ca_gmres",
+    problem: str = "poisson2d",
+    nx: int = 30,
+    n_gpus: int = 2,
+    seed: int = 0,
+    rate: float = 1e-3,
+    kinds: tuple = DEFAULT_KINDS,
+    s: int = 5,
+    m: int = 20,
+    tol: float = 1e-6,
+    max_restarts: int = 80,
+    stall_factor: float = 8.0,
+    max_faults: int | None = None,
+) -> dict:
+    """One solve under one fault plan; returns a flat record."""
+    from ..gpu.context import MultiGpuContext
+
+    solve = _solvers()[solver]
+    A = _problems()[problem](nx)
+    b = np.ones(A.n_rows)
+    plan = FaultPlan.from_rate(
+        seed, rate, kinds=kinds, stall_factor=stall_factor, max_faults=max_faults
+    )
+    ctx = MultiGpuContext(n_gpus, fault_plan=plan)
+    kwargs = dict(ctx=ctx, m=m, tol=tol, max_restarts=max_restarts)
+    if solver == "ca_gmres":
+        kwargs["s"] = s
+    # Poisoned values legitimately flow through a few kernels before a
+    # guard catches them; silence the resulting NumPy warnings locally.
+    with np.errstate(invalid="ignore", over="ignore"):
+        result = solve(A, b, **kwargs)
+    faults = result.details.get("faults", _EMPTY_FAULTS)
+    injected_by_kind = dict(Counter(r["kind"] for r in faults["injected"]))
+    recoveries_by_action = dict(Counter(r["action"] for r in faults["recovered"]))
+    return {
+        "seed": seed,
+        "converged": bool(result.converged),
+        "restarts": int(result.n_restarts),
+        "iterations": int(result.n_iterations),
+        "sim_time_ms": 1e3 * result.total_time,
+        "injected": faults["counts"]["injected"],
+        "detected": faults["counts"]["detected"],
+        "recovered": faults["counts"]["recovered"],
+        "unrecovered": faults["counts"]["unrecovered"],
+        "injected_by_kind": injected_by_kind,
+        "recoveries_by_action": recoveries_by_action,
+        "lost_devices": list(faults["lost_devices"]),
+        "aborted": bool(faults["aborted"]),
+        "schedule": [
+            (r["site"], r["kind"], r["index"]) for r in faults["injected"]
+        ],
+    }
+
+
+def run_campaign(
+    solver: str = "ca_gmres",
+    problem: str = "poisson2d",
+    nx: int = 30,
+    n_gpus: int = 2,
+    seed: int = 0,
+    rate: float = 1e-3,
+    kinds: tuple = DEFAULT_KINDS,
+    trials: int = 3,
+    s: int = 5,
+    m: int = 20,
+    tol: float = 1e-6,
+    max_restarts: int = 80,
+    stall_factor: float = 8.0,
+    max_faults: int | None = None,
+) -> dict:
+    """Run ``trials`` solves (trial ``i`` seeded ``seed + i``); aggregate.
+
+    Returns a JSON-friendly dict with the configuration, per-trial
+    records (:func:`run_trial`), and campaign totals.  Deterministic:
+    identical arguments produce an identical dict.
+    """
+    if trials < 1:
+        raise ValueError("trials must be >= 1")
+    config = {
+        "solver": solver, "problem": problem, "nx": nx, "n_gpus": n_gpus,
+        "seed": seed, "rate": rate, "kinds": list(kinds), "trials": trials,
+        "s": s, "m": m, "tol": tol, "max_restarts": max_restarts,
+        "stall_factor": stall_factor, "max_faults": max_faults,
+    }
+    records = [
+        run_trial(
+            solver=solver, problem=problem, nx=nx, n_gpus=n_gpus,
+            seed=seed + i, rate=rate, kinds=kinds, s=s, m=m, tol=tol,
+            max_restarts=max_restarts, stall_factor=stall_factor,
+            max_faults=max_faults,
+        )
+        for i in range(trials)
+    ]
+    by_kind: Counter = Counter()
+    by_action: Counter = Counter()
+    for r in records:
+        by_kind.update(r["injected_by_kind"])
+        by_action.update(r["recoveries_by_action"])
+    totals = {
+        "injected": sum(r["injected"] for r in records),
+        "detected": sum(r["detected"] for r in records),
+        "recovered": sum(r["recovered"] for r in records),
+        "unrecovered": sum(r["unrecovered"] for r in records),
+        "injected_by_kind": dict(sorted(by_kind.items())),
+        "recoveries_by_action": dict(sorted(by_action.items())),
+        "converged_trials": sum(r["converged"] for r in records),
+        "aborted_trials": sum(r["aborted"] for r in records),
+    }
+    return {"config": config, "trials": records, "totals": totals}
+
+
+def campaign_tables(campaign: dict) -> str:
+    """Human-readable per-trial + recovery-summary tables."""
+    from ..harness import format_table
+
+    cfg = campaign["config"]
+    rows = [
+        [
+            i, r["seed"], "yes" if r["converged"] else "no",
+            r["restarts"], r["iterations"], f"{r['sim_time_ms']:.2f}",
+            r["injected"], r["detected"], r["recovered"], r["unrecovered"],
+            ",".join(r["lost_devices"]) or "-",
+        ]
+        for i, r in enumerate(campaign["trials"])
+    ]
+    trial_table = format_table(
+        ["trial", "seed", "conv", "rest", "iter", "sim ms",
+         "inj", "det", "rec", "unrec", "lost"],
+        rows,
+        title=(
+            f"Fault campaign — {cfg['solver']} on {cfg['n_gpus']} GPU(s), "
+            f"{cfg['problem']} nx={cfg['nx']}, rate={cfg['rate']:g}, "
+            f"seed={cfg['seed']}"
+        ),
+    )
+    t = campaign["totals"]
+    kind_rows = [
+        [kind, count] for kind, count in t["injected_by_kind"].items()
+    ] or [["(none)", 0]]
+    action_rows = [
+        [action, count] for action, count in t["recoveries_by_action"].items()
+    ] or [["(none)", 0]]
+    summary = format_table(
+        ["fault kind", "injected"], kind_rows, title="Injected by kind"
+    )
+    actions = format_table(
+        ["recovery action", "count"], action_rows, title="Recoveries by action"
+    )
+    tail = (
+        f"totals: {t['injected']} injected, {t['detected']} detected, "
+        f"{t['recovered']} recovered, {t['unrecovered']} unrecovered; "
+        f"{t['converged_trials']}/{cfg['trials']} trials converged, "
+        f"{t['aborted_trials']} aborted"
+    )
+    return "\n\n".join([trial_table, summary, actions, tail])

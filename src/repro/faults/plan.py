@@ -1,0 +1,196 @@
+"""Fault plans: what to inject, where, and when — deterministically.
+
+A :class:`FaultPlan` is pure data.  It can be built two ways:
+
+* **Rate-based** (:meth:`FaultPlan.from_rate`): every injection site draws
+  a Bernoulli trial per *opportunity* (one kernel charge, one bus message)
+  from its own seeded RNG stream.  Because each site's stream depends only
+  on ``(seed, site)`` and the op order at a site is deterministic, the same
+  seed always produces the identical injected-event schedule.
+* **Scripted** (:meth:`FaultPlan.scripted`): an explicit list of
+  :class:`FaultEvent` with ``(site, trigger, kind)``, where ``trigger`` is
+  the 0-based occurrence index of the site's opportunities (the 3rd kernel
+  on ``gpu1``, the 5th PCIe message, ...).  Tests use this for precise
+  placement.
+
+Fault kinds
+-----------
+``"corrupt"``
+    A transfer payload arrives with one entry overwritten by NaN/Inf
+    (transient: the source data is intact, a re-transfer delivers clean
+    bytes).  Valid on the ``pcie`` site.
+``"poison"``
+    A kernel writes NaN/Inf into one entry of its output array (transient:
+    re-running the producing kernel regenerates clean data).  Valid on
+    device sites.
+``"stall"``
+    A clock-only slowdown: the kernel (or bus message) takes
+    ``stall_factor`` times its modeled duration.  Numerics are untouched.
+``"dropout"``
+    Hard device loss: the kernel raises
+    :class:`~repro.faults.errors.DeviceLost` and every subsequent
+    operation touching the device fails.  Not recoverable.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+__all__ = ["FAULT_KINDS", "FaultEvent", "FaultPlan"]
+
+#: All recognized fault kinds.
+FAULT_KINDS = ("corrupt", "poison", "stall", "dropout")
+
+#: Kinds that make sense per site class (used to filter rate-based draws).
+_SITE_KINDS = {
+    "pcie": ("corrupt", "stall"),
+    "host": ("stall",),
+    "device": ("poison", "stall", "dropout"),
+}
+
+#: Default kinds for rate campaigns: transient/recoverable faults only.
+DEFAULT_KINDS = ("corrupt", "poison", "stall")
+
+
+@dataclass(frozen=True)
+class FaultEvent:
+    """One injectable fault.
+
+    Attributes
+    ----------
+    site
+        Injection site: ``"gpu0"``..``"gpuN"``, ``"host"``, or ``"pcie"``.
+    kind
+        One of :data:`FAULT_KINDS`.
+    trigger
+        Occurrence index at the site for scripted plans (``None`` for
+        rate-drawn events, which fire at the opportunity that drew them).
+    factor
+        Slowdown multiplier for ``"stall"`` events.
+    position
+        Deterministic corruption anchor: the poisoned/corrupted element is
+        ``position % size`` of the target buffer, and its value is Inf when
+        ``position`` is odd, NaN otherwise.
+    """
+
+    site: str
+    kind: str
+    trigger: int | None = None
+    factor: float = 8.0
+    position: int = 0
+
+    def __post_init__(self):
+        if self.kind not in FAULT_KINDS:
+            raise ValueError(
+                f"unknown fault kind {self.kind!r}; choose from {FAULT_KINDS}"
+            )
+        if self.kind == "stall" and self.factor <= 1.0:
+            raise ValueError("stall factor must be > 1")
+
+    @property
+    def poison_value(self) -> float:
+        """The non-finite value this event writes (NaN or +Inf)."""
+        return np.inf if self.position % 2 else np.nan
+
+
+def _site_class(site: str) -> str:
+    if site == "pcie":
+        return "pcie"
+    if site == "host":
+        return "host"
+    return "device"
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """A deterministic schedule specification for fault injection.
+
+    Attributes
+    ----------
+    seed
+        Root seed for the per-site RNG streams (rate-based injection).
+    rate
+        Per-opportunity injection probability (0 disables rate draws; a
+        zero-rate plan still arms the solvers' uncosted guards, and is
+        guaranteed to leave results and simulated timings bit-identical).
+    kinds
+        Fault kinds eligible for rate-based draws (filtered per site, see
+        module docstring).  Defaults to the transient kinds — campaigns
+        that want hard dropouts opt in explicitly.
+    events
+        Scripted events (fire at their exact ``(site, trigger)`` in
+        addition to any rate draws).
+    stall_factor
+        Slowdown multiplier applied by rate-drawn ``"stall"`` events.
+    max_faults
+        Cap on the number of rate-drawn injections (``None`` = unlimited);
+        scripted events always fire.
+    """
+
+    seed: int = 0
+    rate: float = 0.0
+    kinds: tuple = DEFAULT_KINDS
+    events: tuple = field(default_factory=tuple)
+    stall_factor: float = 8.0
+    max_faults: int | None = None
+
+    def __post_init__(self):
+        if not 0.0 <= self.rate <= 1.0:
+            raise ValueError(f"rate must be in [0, 1], got {self.rate}")
+        for kind in self.kinds:
+            if kind not in FAULT_KINDS:
+                raise ValueError(f"unknown fault kind {kind!r} in kinds")
+        object.__setattr__(self, "events", tuple(self.events))
+        for ev in self.events:
+            if not isinstance(ev, FaultEvent):
+                raise TypeError("events must be FaultEvent instances")
+            if ev.trigger is None:
+                raise ValueError("scripted events need an explicit trigger")
+        index: dict[tuple, list] = {}
+        for ev in self.events:
+            index.setdefault((ev.site, ev.trigger), []).append(ev)
+        object.__setattr__(self, "_scripted", index)
+
+    # -- constructors -------------------------------------------------------
+    @classmethod
+    def from_rate(
+        cls,
+        seed: int,
+        rate: float,
+        kinds: tuple = DEFAULT_KINDS,
+        stall_factor: float = 8.0,
+        max_faults: int | None = None,
+    ) -> "FaultPlan":
+        """A purely rate-based plan (see class docstring)."""
+        return cls(
+            seed=int(seed), rate=float(rate), kinds=tuple(kinds),
+            stall_factor=stall_factor, max_faults=max_faults,
+        )
+
+    @classmethod
+    def scripted(cls, events) -> "FaultPlan":
+        """A plan that fires exactly the given ``FaultEvent`` list."""
+        return cls(events=tuple(events))
+
+    # -- queries ------------------------------------------------------------
+    def scripted_events(self, site: str, index: int) -> list[FaultEvent]:
+        """Scripted events registered for occurrence ``index`` at ``site``."""
+        return self._scripted.get((site, index), [])
+
+    def eligible_kinds(self, site: str) -> tuple:
+        """Rate-drawable kinds at ``site`` (plan kinds ∩ site-valid kinds)."""
+        allowed = _SITE_KINDS[_site_class(site)]
+        return tuple(k for k in self.kinds if k in allowed)
+
+    def describe(self) -> dict:
+        """Human/JSON-friendly summary of the plan."""
+        return {
+            "seed": self.seed,
+            "rate": self.rate,
+            "kinds": list(self.kinds),
+            "scripted": len(self.events),
+            "stall_factor": self.stall_factor,
+            "max_faults": self.max_faults,
+        }

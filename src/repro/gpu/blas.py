@@ -55,7 +55,9 @@ def dot(x: DeviceArray, y: DeviceArray, variant: str = "cublas") -> DeviceArray:
     if x.data.shape != y.data.shape:
         raise ValueError("dot operands must have equal shapes")
     dev.charge_kernel("dot", variant, n=x.data.size)
-    return DeviceArray(np.array([float(x.data @ y.data)]), dev)
+    out = DeviceArray(np.array([float(x.data @ y.data)]), dev)
+    dev.apply_pending_faults(out)
+    return out
 
 
 def nrm2(x: DeviceArray, variant: str = "cublas") -> DeviceArray:
@@ -63,7 +65,9 @@ def nrm2(x: DeviceArray, variant: str = "cublas") -> DeviceArray:
     before the square root, as in the paper's pseudocode)."""
     dev = _device_of(x)
     dev.charge_kernel("dot", variant, n=x.data.size)
-    return DeviceArray(np.array([float(x.data @ x.data)]), dev)
+    out = DeviceArray(np.array([float(x.data @ x.data)]), dev)
+    dev.apply_pending_faults(out)
+    return out
 
 
 def axpy(alpha: float, x: DeviceArray, y: DeviceArray, variant: str = "cublas") -> None:
@@ -73,6 +77,7 @@ def axpy(alpha: float, x: DeviceArray, y: DeviceArray, variant: str = "cublas") 
         raise ValueError("axpy operands must have equal shapes")
     dev.charge_kernel("axpy", variant, n=x.data.size)
     y.data += alpha * x.data
+    dev.apply_pending_faults(y)
 
 
 def scal(alpha: float, x: DeviceArray, variant: str = "cublas") -> None:
@@ -80,6 +85,7 @@ def scal(alpha: float, x: DeviceArray, variant: str = "cublas") -> None:
     dev = _device_of(x)
     dev.charge_kernel("scal", variant, n=x.data.size)
     x.data *= alpha
+    dev.apply_pending_faults(x)
 
 
 def copy_into(dst: DeviceArray, src: DeviceArray, variant: str = "cublas") -> None:
@@ -89,6 +95,7 @@ def copy_into(dst: DeviceArray, src: DeviceArray, variant: str = "cublas") -> No
         raise ValueError("copy operands must have equal shapes")
     dev.charge_kernel("copy", variant, n=src.data.size)
     dst.data[...] = src.data
+    dev.apply_pending_faults(dst)
 
 
 def gemv_t(V: DeviceArray, x: DeviceArray, variant: str = "magma") -> DeviceArray:
@@ -98,7 +105,9 @@ def gemv_t(V: DeviceArray, x: DeviceArray, variant: str = "magma") -> DeviceArra
     if x.data.shape != (n,):
         raise ValueError(f"x must have shape ({n},), got {x.data.shape}")
     dev.charge_kernel("gemv_t", variant, n=n, k=k)
-    return DeviceArray(V.data.T @ x.data, dev)
+    out = DeviceArray(V.data.T @ x.data, dev)
+    dev.apply_pending_faults(out)
+    return out
 
 
 def gemv_n_update(
@@ -111,6 +120,7 @@ def gemv_n_update(
         raise ValueError("shape mismatch in gemv_n_update")
     dev.charge_kernel("gemv_n", variant, n=n, k=k)
     x.data -= V.data @ r.data
+    dev.apply_pending_faults(x)
 
 
 def gemm_tn(V: DeviceArray, W: DeviceArray, variant: str = "batched") -> DeviceArray:
@@ -133,7 +143,9 @@ def gemm_tn(V: DeviceArray, W: DeviceArray, variant: str = "batched") -> DeviceA
         ).astype(np.float64)
     else:
         product = V.data.T @ W.data
-    return DeviceArray(product, dev)
+    out = DeviceArray(product, dev)
+    dev.apply_pending_faults(out)
+    return out
 
 
 def gemm_nn_update(
@@ -147,6 +159,7 @@ def gemm_nn_update(
         raise ValueError("shape mismatch in gemm_nn_update")
     dev.charge_kernel("gemm_nn", variant, n=n, k=k, j=j)
     W.data -= V.data @ B.data
+    dev.apply_pending_faults(W)
 
 
 def gemm_nn(V: DeviceArray, B: DeviceArray, variant: str = "batched") -> DeviceArray:
@@ -157,7 +170,9 @@ def gemm_nn(V: DeviceArray, B: DeviceArray, variant: str = "batched") -> DeviceA
     if k != k2:
         raise ValueError("gemm_nn inner dimensions disagree")
     dev.charge_kernel("gemm_nn", variant, n=n, k=k, j=j)
-    return DeviceArray(V.data @ B.data, dev)
+    out = DeviceArray(V.data @ B.data, dev)
+    dev.apply_pending_faults(out)
+    return out
 
 
 def ger_update(x: DeviceArray, y: DeviceArray, W: DeviceArray, variant: str = "magma") -> None:
@@ -169,6 +184,7 @@ def ger_update(x: DeviceArray, y: DeviceArray, W: DeviceArray, variant: str = "m
         raise ValueError("shape mismatch in ger_update")
     dev.charge_kernel("gemm_nn", variant, n=n, k=1, j=j)
     W.data -= np.outer(x.data, y.data)
+    dev.apply_pending_faults(W)
 
 
 def trsm_right(V: DeviceArray, R: np.ndarray, variant: str = "magma") -> None:
@@ -187,6 +203,7 @@ def trsm_right(V: DeviceArray, R: np.ndarray, variant: str = "magma") -> None:
     V.data[...] = scipy.linalg.solve_triangular(
         R.T, V.data.T, lower=True, check_finite=False
     ).T
+    dev.apply_pending_faults(V)
 
 
 def qr_panel(V: DeviceArray, variant: str = "magma") -> tuple[DeviceArray, np.ndarray]:
@@ -199,7 +216,9 @@ def qr_panel(V: DeviceArray, variant: str = "magma") -> tuple[DeviceArray, np.nd
     n, k = V.data.shape
     dev.charge_kernel("qr_panel", variant, n=n, k=k)
     q, r = np.linalg.qr(V.data, mode="reduced")
-    return DeviceArray(q, dev), r
+    out = DeviceArray(q, dev)
+    dev.apply_pending_faults(out)
+    return out, r
 
 
 def spmv_ell(
@@ -223,6 +242,7 @@ def spmv_ell(
     xd = x.data
     for j in range(width):
         out.data += vals[:, j] * xd[cols[:, j]]
+    dev.apply_pending_faults(out)
 
 
 def spmv_csr_prefix(
@@ -251,3 +271,6 @@ def spmv_csr_prefix(
     nonempty = np.flatnonzero(diffs > 0)
     if nonempty.size:
         out.data[nonempty] = np.add.reduceat(products, ptr[:-1][nonempty])
+    # Poison only the rows this step actually computed — anything beyond
+    # the active prefix is never read back.
+    dev.apply_pending_faults(out.data[:n_active_rows])

@@ -23,6 +23,8 @@ from contextlib import contextmanager
 
 import numpy as np
 
+from ..faults.errors import TransferCorruption
+from ..faults.injector import FaultInjector
 from ..perf.machine import MachineSpec, keeneland_node
 from ..perf.model import PerformanceModel
 from .counters import Counters
@@ -43,9 +45,28 @@ class MultiGpuContext:
     machine
         Machine description; defaults to the paper's Keeneland node (the
         ``n_gpus`` argument overrides the spec's GPU count).
+    fault_plan
+        Optional :class:`~repro.faults.plan.FaultPlan`; when given, a
+        :class:`~repro.faults.injector.FaultInjector` is armed on every
+        device, the host, and the bus, and the solvers enable their
+        (uncosted) NaN/Inf guards and retry/checkpoint machinery.
+    validate_transfers
+        Check every h2d/d2h payload with ``np.isfinite`` on arrival and
+        raise :class:`~repro.faults.errors.TransferCorruption` on failure
+        (the staged halo exchange retries such transfers).  Off by
+        default: without it, corrupted payloads propagate silently — the
+        historical behavior.  Attaching a ``fault_plan`` arms the same
+        check automatically (injected corruption must be detectable for
+        recovery to work); the check is uncosted either way.
     """
 
-    def __init__(self, n_gpus: int = 1, machine: MachineSpec | None = None):
+    def __init__(
+        self,
+        n_gpus: int = 1,
+        machine: MachineSpec | None = None,
+        fault_plan=None,
+        validate_transfers: bool = False,
+    ):
         if n_gpus < 1:
             raise ValueError("n_gpus must be >= 1")
         if machine is None:
@@ -54,12 +75,19 @@ class MultiGpuContext:
         self.perf = PerformanceModel(machine)
         self.counters = Counters()
         self.trace = TraceRecorder()
+        self.faults = FaultInjector(fault_plan, trace=self.trace)
+        self.validate_transfers = bool(validate_transfers)
         self.devices = [
-            Device(d, self.perf, self.counters, trace=self.trace)
+            Device(d, self.perf, self.counters, trace=self.trace, faults=self.faults)
             for d in range(n_gpus)
         ]
-        self.host = Host(self.perf, self.counters, trace=self.trace)
-        self.bus = PcieBus(machine.pcie, trace=self.trace)
+        self.host = Host(self.perf, self.counters, trace=self.trace, faults=self.faults)
+        self.bus = PcieBus(machine.pcie, trace=self.trace, faults=self.faults)
+
+    @property
+    def resilience_enabled(self) -> bool:
+        """True when solvers should run their fault guards/retry paths."""
+        return self.faults.active or self.validate_transfers
 
     @property
     def timers(self) -> dict[str, float]:
@@ -86,12 +114,20 @@ class MultiGpuContext:
         return t
 
     def reset_clocks(self) -> None:
-        """Zero all clocks, the bus, and the event trace (timers with it)."""
+        """Zero all clocks, the bus, the event trace — and the fault state.
+
+        Resetting the injector restores its RNG streams and occurrence
+        counters, so every solve started on this context replays the same
+        deterministic fault schedule.
+        """
         self.host.clock = 0.0
+        self.host._poison_pending = None
         for dev in self.devices:
             dev.clock = 0.0
+            dev._poison_pending = None
         self.bus.reset()
         self.trace.reset()
+        self.faults.reset()
 
     @contextmanager
     def region(self, name: str):
@@ -118,15 +154,31 @@ class MultiGpuContext:
         """Copy a host array to ``device`` (one PCIe message).
 
         The host is not blocked (async copy); the device waits for arrival.
+        With ``validate_transfers`` the arriving copy is checked for
+        non-finite entries and :class:`TransferCorruption` raised — the
+        source array is untouched, so the caller may simply retry.
         """
         array = np.asarray(array)
+        if self.faults.active:
+            self.faults.check_alive(device.name)
         end = self.bus.schedule(
             self.host.clock, array.nbytes, kind="h2d", peer=device.name
         )
         device.wait_until(end)
         self.counters.h2d_messages += 1
         self.counters.h2d_bytes += array.nbytes
-        return DeviceArray(array.copy(), device)
+        arrived = DeviceArray(array.copy(), device)
+        if self.faults.active:
+            self.faults.apply_pending_corrupt(arrived.data)
+        if self.resilience_enabled and not np.all(np.isfinite(arrived.data)):
+            self.faults.note_detection(
+                "h2d payload", time=end, site=device.name,
+                nbytes=int(array.nbytes),
+            )
+            raise TransferCorruption(
+                f"non-finite h2d payload arrived on {device.name}"
+            )
+        return arrived
 
     def d2h(self, darr: DeviceArray, ready_at: float | None = None) -> np.ndarray:
         """Copy a device array to the host (one PCIe message).
@@ -138,13 +190,26 @@ class MultiGpuContext:
         though the device's compute clock has since moved on).
         """
         ready = darr.device.clock if ready_at is None else min(ready_at, darr.device.clock)
+        if self.faults.active:
+            self.faults.check_alive(darr.device.name)
         end = self.bus.schedule(
             ready, darr.nbytes, kind="d2h", peer=darr.device.name
         )
         self.host.wait_until(end)
         self.counters.d2h_messages += 1
         self.counters.d2h_bytes += darr.nbytes
-        return np.array(darr.data, copy=True)
+        arrived = np.array(darr.data, copy=True)
+        if self.faults.active:
+            self.faults.apply_pending_corrupt(arrived)
+        if self.resilience_enabled and not np.all(np.isfinite(arrived)):
+            self.faults.note_detection(
+                "d2h payload", time=end, site=darr.device.name,
+                nbytes=int(darr.nbytes),
+            )
+            raise TransferCorruption(
+                f"non-finite d2h payload arrived from {darr.device.name}"
+            )
+        return arrived
 
     # ------------------------------------------------------------------
     # Collectives (host-staged, as in the paper)

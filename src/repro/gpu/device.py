@@ -58,12 +58,19 @@ class _Clocked:
     """Shared clock behavior for devices and the host."""
 
     def __init__(
-        self, name: str, perf: PerformanceModel, counters: Counters, trace=None
+        self, name: str, perf: PerformanceModel, counters: Counters, trace=None,
+        faults=None,
     ):
         self.name = name
         self.perf = perf
         self.counters = counters
         self.trace = trace
+        #: Optional :class:`~repro.faults.injector.FaultInjector` shared by
+        #: the owning context; consulted on every kernel charge when active.
+        self.faults = faults
+        #: Poison event armed by the injector, delivered by the BLAS layer
+        #: into the next kernel's output (see :meth:`apply_pending_faults`).
+        self._poison_pending = None
         self.clock = 0.0
 
     def _record_kernel(self, op: str, variant: str, start: float, t: float) -> None:
@@ -73,6 +80,33 @@ class _Clocked:
                 f"{op}/{variant}", self.name, "kernel", start, t, op=op,
                 variant=variant,
             )
+
+    def _faulted_time(self, op: str, variant: str, start: float, t: float) -> float:
+        """Run the fault hook for one kernel charge (stall/poison/dropout)."""
+        fi = self.faults
+        if fi is not None and fi.active:
+            return fi.on_kernel(self, op, variant, start, t)
+        return t
+
+    def apply_pending_faults(self, *outputs) -> None:
+        """Deliver an armed poison event into the first non-empty output.
+
+        Called by every :mod:`repro.gpu.blas` routine after it has written
+        its result; a no-op unless the fault injector armed a poison on
+        this resource's last kernel charge.  ``outputs`` may be
+        ``DeviceArray`` or plain ndarrays.
+        """
+        event = self._poison_pending
+        if event is None:
+            return
+        from ..faults.injector import poison_array
+
+        self._poison_pending = None
+        for out in outputs:
+            data = out.data if isinstance(out, DeviceArray) else out
+            if data.size:
+                poison_array(data, event)
+                return
 
     def advance(self, seconds: float) -> None:
         """Move this resource's clock forward."""
@@ -100,9 +134,10 @@ class Device(_Clocked):
     """
 
     def __init__(
-        self, device_id: int, perf: PerformanceModel, counters: Counters, trace=None
+        self, device_id: int, perf: PerformanceModel, counters: Counters, trace=None,
+        faults=None,
     ):
-        super().__init__(f"gpu{device_id}", perf, counters, trace=trace)
+        super().__init__(f"gpu{device_id}", perf, counters, trace=trace, faults=faults)
         self.device_id = int(device_id)
 
     # -- array management -------------------------------------------------
@@ -127,7 +162,7 @@ class Device(_Clocked):
     def charge_kernel(self, op: str, variant: str, **shape) -> float:
         """Advance this device's clock by one kernel's modeled time."""
         start = self.clock
-        t = self.perf.gpu_time(op, variant, **shape)
+        t = self._faulted_time(op, variant, start, self.perf.gpu_time(op, variant, **shape))
         self.advance(t)
         flops, _ = kernel_flops_bytes(op, variant, **shape)
         self.counters.kernel_launches += 1
@@ -153,13 +188,13 @@ class Device(_Clocked):
 class Host(_Clocked):
     """The 16-core host CPU: reductions and small dense factorizations."""
 
-    def __init__(self, perf: PerformanceModel, counters: Counters, trace=None):
-        super().__init__("host", perf, counters, trace=trace)
+    def __init__(self, perf: PerformanceModel, counters: Counters, trace=None, faults=None):
+        super().__init__("host", perf, counters, trace=trace, faults=faults)
 
     def charge_kernel(self, op: str, variant: str = "mkl", **shape) -> float:
         """Advance the host clock by one threaded-BLAS kernel's time."""
         start = self.clock
-        t = self.perf.cpu_time(op, variant, **shape)
+        t = self._faulted_time(op, variant, start, self.perf.cpu_time(op, variant, **shape))
         self.advance(t)
         flops, _ = kernel_flops_bytes(op, variant, **shape)
         self.counters.host_flops += flops
@@ -170,7 +205,7 @@ class Host(_Clocked):
     def charge_small_dense(self, op: str, k: int) -> float:
         """Advance the host clock by a small k x k LAPACK factorization."""
         start = self.clock
-        t = self.perf.host_small_dense(op, k)
+        t = self._faulted_time(op, "lapack", start, self.perf.host_small_dense(op, k))
         self.advance(t)
         self.counters.host_small_ops += 1
         self.counters.count_kernel(op, "lapack")

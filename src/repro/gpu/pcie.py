@@ -22,10 +22,14 @@ __all__ = ["PcieBus"]
 class PcieBus:
     """Shared host-device interconnect with latency/bandwidth/serialization."""
 
-    def __init__(self, spec: PcieSpec, trace=None):
+    def __init__(self, spec: PcieSpec, trace=None, faults=None):
         self.spec = spec
         self.busy_until = 0.0
         self.trace = trace
+        #: Optional fault injector; consulted once per scheduled message
+        #: (transfer corruption is left pending for the context to apply
+        #: to the arriving payload copy, stalls extend the occupancy).
+        self.faults = faults
 
     def message_time(self, nbytes: int) -> float:
         """Cost of one message of ``nbytes`` in isolation."""
@@ -45,6 +49,8 @@ class PcieBus:
         """
         start = max(ready_at, self.busy_until) if self.spec.shared_bus else ready_at
         end = start + self.message_time(nbytes)
+        if self.faults is not None and self.faults.active:
+            end += self.faults.on_bus_message(kind, peer, nbytes, start, end - start)
         if self.spec.shared_bus:
             self.busy_until = end
         if self.trace is not None:

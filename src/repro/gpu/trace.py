@@ -41,6 +41,12 @@ REGION_LANE = "regions"
 #: Lane name used for PCIe bus-occupancy intervals.
 PCIE_LANE = "pcie"
 
+#: Lane name used for injected/detected/recovered fault events (see
+#: :mod:`repro.faults`): ``kind`` is ``"fault"`` | ``"detect"`` |
+#: ``"recover"``, so Chrome/Perfetto exports show faults in timeline
+#: context next to the kernels and transfers they hit.
+FAULT_LANE = "faults"
+
 
 @dataclass
 class TraceEvent:
@@ -279,13 +285,23 @@ class TraceRecorder:
     # Chrome trace_event export
     # ------------------------------------------------------------------
     def lanes(self) -> list[str]:
-        """Stable lane ordering: host, gpu0..gpuN, pcie, regions."""
+        """Stable lane ordering: host, gpu0..gpuN, pcie, regions[, faults].
+
+        The fault lane only appears when fault events were recorded, so
+        fault-free traces are unchanged.
+        """
         seen = {e.lane for e in self.events}
         gpus = sorted(lane for lane in seen if lane.startswith("gpu"))
         ordered = ["host"] + gpus + [PCIE_LANE, REGION_LANE]
+        if FAULT_LANE in seen:
+            ordered.append(FAULT_LANE)
         # Keep any unexpected lanes (future backends) at the end.
         ordered += sorted(seen - set(ordered))
         return ordered
+
+    def fault_events(self) -> list[TraceEvent]:
+        """All events in the fault lane (injections, detections, recoveries)."""
+        return [e for e in self.events if e.lane == FAULT_LANE]
 
     def to_chrome_trace(self) -> dict:
         """The trace as a Chrome ``trace_event`` JSON object.

@@ -17,6 +17,7 @@ import numpy as np
 __all__ = [
     "OrthogonalizationError",
     "CholeskyBreakdown",
+    "NonFinitePanelError",
     "orthogonality_error",
     "factorization_error",
     "elementwise_error",
@@ -32,6 +33,15 @@ class CholeskyBreakdown(OrthogonalizationError):
 
     The paper (Section V-D) notes this happens when the panel is
     ill-conditioned or rank deficient; SVQR exists to survive exactly this.
+    """
+
+
+class NonFinitePanelError(OrthogonalizationError):
+    """TSQR produced a NaN/Inf R factor — the input panel was poisoned.
+
+    Raised only when ``tsqr(..., check_finite=True)``; the solvers' fault
+    guards use this to trigger a panel retry rather than silently
+    propagating non-finite basis vectors.
     """
 
 

@@ -14,6 +14,7 @@ from ..gpu.device import DeviceArray
 from .caqr import tsqr_caqr
 from .cgs import tsqr_cgs
 from .cholqr import tsqr_cholqr
+from .errors import NonFinitePanelError
 from .mgs import tsqr_mgs
 from .svqr import tsqr_svqr
 
@@ -74,6 +75,7 @@ def tsqr(
     method: str = "cholqr",
     variant: str | None = None,
     reorth: int = 1,
+    check_finite: bool = False,
 ) -> np.ndarray:
     """Orthogonalize a distributed tall-skinny panel in place.
 
@@ -91,6 +93,11 @@ def tsqr(
         for the dominant kernel at this panel shape.
     reorth
         Number of factorization passes (1 = single, 2 = the paper's "2x").
+    check_finite
+        Raise :class:`~repro.orth.errors.NonFinitePanelError` when the
+        computed R factor contains NaN/Inf (a poisoned input panel).  The
+        check inspects only the small host-side R — an uncosted guard that
+        leaves the simulated timeline untouched.
 
     Returns
     -------
@@ -114,4 +121,8 @@ def tsqr(
     for _ in range(reorth - 1):
         R2 = kernel(ctx, panels, variant=variant)
         R = R2 @ R
+    if check_finite and not np.all(np.isfinite(R)):
+        raise NonFinitePanelError(
+            f"TSQR ({method}) produced a non-finite R factor"
+        )
     return np.triu(R)

@@ -82,12 +82,12 @@ class TestBreakdownFallback:
         real_tsqr = ca_mod.tsqr
         calls = {"cholqr": 0, "caqr": 0}
 
-        def flaky_tsqr(ctx, panels, method="cholqr", variant=None):
+        def flaky_tsqr(ctx, panels, method="cholqr", variant=None, **kw):
             if method == "cholqr":
                 calls["cholqr"] += 1
                 raise CholeskyBreakdown("synthetic breakdown")
             calls[method] = calls.get(method, 0) + 1
-            return real_tsqr(ctx, panels, method=method, variant=variant)
+            return real_tsqr(ctx, panels, method=method, variant=variant, **kw)
 
         monkeypatch.setattr(ca_mod, "tsqr", flaky_tsqr)
         return calls

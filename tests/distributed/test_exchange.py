@@ -4,6 +4,7 @@ import numpy as np
 import pytest
 
 from repro.dist.exchange import StagedExchange
+from repro.faults import FaultEvent, FaultPlan, TransferCorruption
 from repro.gpu.context import MultiGpuContext
 from repro.order.partition import Partition, block_row_partition
 
@@ -90,6 +91,33 @@ class TestStagedExchange:
             rec = ex.exchange(ctx, dist_parts(ctx, part, v))
             assert rec[0][0] == v[4]
             assert rec[1][0] == v[1]
+
+    def test_corrupted_transfer_retried_transparently(self, rng):
+        # A scripted corruption on the first bus message: the exchange must
+        # retry the transfer and still deliver the exact requested values.
+        plan = FaultPlan.scripted(
+            [FaultEvent("pcie", "corrupt", trigger=0, position=0)]
+        )
+        ctx = MultiGpuContext(2, fault_plan=plan)
+        part = block_row_partition(6, 2)
+        ex = StagedExchange(part, [np.array([4]), np.array([1])])
+        v = rng.standard_normal(6)
+        rec = ex.exchange(ctx, dist_parts(ctx, part, v))
+        assert rec[0][0] == v[4]
+        assert rec[1][0] == v[1]
+        [recovery] = ctx.faults.recoveries
+        assert recovery["action"] == "transfer-retry"
+
+    def test_retry_budget_exhausted_raises(self):
+        # Three consecutive corruptions exceed max_transfer_retries=2.
+        plan = FaultPlan.scripted(
+            [FaultEvent("pcie", "corrupt", trigger=t) for t in range(3)]
+        )
+        ctx = MultiGpuContext(2, fault_plan=plan)
+        part = block_row_partition(6, 2)
+        ex = StagedExchange(part, [np.array([4]), np.array([1])])
+        with pytest.raises(TransferCorruption):
+            ex.exchange(ctx, dist_parts(ctx, part, np.zeros(6)))
 
     def test_stage_masks_precomputed_and_consistent(self):
         # The per-device staging mask is exchange-invariant; it must be built

@@ -1,0 +1,58 @@
+"""Tests for the campaign runner (`repro.faults.campaign`)."""
+
+import pytest
+
+from repro.faults.campaign import campaign_tables, run_campaign, run_trial
+
+# One small campaign, reused by several assertions below.
+SMALL = dict(nx=16, m=12, s=4, tol=1e-6, max_restarts=40, trials=2)
+
+
+@pytest.fixture(scope="module")
+def small_campaign():
+    return run_campaign(seed=0, rate=1e-3, **SMALL)
+
+
+class TestRunTrial:
+    def test_fault_free_trial_has_zero_counts(self):
+        rec = run_trial(nx=10, m=10, s=5, rate=0.0, max_restarts=30)
+        assert rec["converged"]
+        assert rec["injected"] == rec["detected"] == rec["recovered"] == 0
+        assert rec["schedule"] == [] and not rec["aborted"]
+
+    def test_unknown_solver_rejected(self):
+        with pytest.raises(KeyError):
+            run_trial(solver="bicgstab", nx=8)
+
+
+class TestRunCampaign:
+    def test_default_acceptance_config_injects_and_recovers(self):
+        """The ISSUE.md acceptance criterion: seed 0, rate 1e-3 defaults."""
+        campaign = run_campaign(seed=0, rate=1e-3)
+        t = campaign["totals"]
+        assert t["injected"] >= 1 and t["recovered"] >= 1
+        assert t["converged_trials"] == campaign["config"]["trials"]
+
+    def test_same_seed_identical_campaign(self, small_campaign):
+        assert run_campaign(seed=0, rate=1e-3, **SMALL) == small_campaign
+
+    def test_different_seed_differs(self, small_campaign):
+        other = run_campaign(seed=1000, rate=1e-3, **SMALL)
+        schedules = lambda c: [r["schedule"] for r in c["trials"]]  # noqa: E731
+        assert schedules(other) != schedules(small_campaign)
+
+    def test_trials_seeded_consecutively(self, small_campaign):
+        assert [r["seed"] for r in small_campaign["trials"]] == [0, 1]
+
+    def test_zero_trials_rejected(self):
+        with pytest.raises(ValueError, match="trials"):
+            run_campaign(trials=0)
+
+
+class TestCampaignTables:
+    def test_tables_render(self, small_campaign):
+        text = campaign_tables(small_campaign)
+        assert "Fault campaign" in text
+        assert "Injected by kind" in text
+        assert "Recoveries by action" in text
+        assert "totals:" in text

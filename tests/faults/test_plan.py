@@ -1,0 +1,73 @@
+"""Tests for the pure-data fault plans (`repro.faults.plan`)."""
+
+import numpy as np
+import pytest
+
+from repro.faults import FAULT_KINDS, FaultEvent, FaultPlan
+from repro.faults.plan import DEFAULT_KINDS
+
+
+class TestFaultEvent:
+    def test_known_kinds_accepted(self):
+        for kind in FAULT_KINDS:
+            site = "pcie" if kind == "corrupt" else "gpu0"
+            FaultEvent(site=site, kind=kind, trigger=0)
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ValueError, match="unknown fault kind"):
+            FaultEvent(site="gpu0", kind="gamma-ray", trigger=0)
+
+    def test_stall_factor_must_exceed_one(self):
+        with pytest.raises(ValueError, match="stall factor"):
+            FaultEvent(site="gpu0", kind="stall", trigger=0, factor=1.0)
+        FaultEvent(site="gpu0", kind="stall", trigger=0, factor=2.0)
+
+    def test_poison_value_parity(self):
+        assert np.isnan(FaultEvent("gpu0", "poison", 0, position=4).poison_value)
+        assert np.isinf(FaultEvent("gpu0", "poison", 0, position=5).poison_value)
+
+
+class TestFaultPlan:
+    def test_rate_out_of_range_rejected(self):
+        with pytest.raises(ValueError, match="rate"):
+            FaultPlan(rate=1.5)
+        with pytest.raises(ValueError, match="rate"):
+            FaultPlan(rate=-0.1)
+
+    def test_unknown_kind_in_kinds_rejected(self):
+        with pytest.raises(ValueError, match="unknown fault kind"):
+            FaultPlan(kinds=("poison", "cosmic"))
+
+    def test_scripted_events_need_trigger(self):
+        with pytest.raises(ValueError, match="trigger"):
+            FaultPlan(events=(FaultEvent("gpu0", "poison"),))
+
+    def test_default_kinds_exclude_dropout(self):
+        assert "dropout" not in DEFAULT_KINDS
+        assert set(DEFAULT_KINDS) < set(FAULT_KINDS)
+
+    def test_scripted_lookup(self):
+        ev = FaultEvent("gpu1", "poison", trigger=3)
+        plan = FaultPlan.scripted([ev])
+        assert plan.scripted_events("gpu1", 3) == [ev]
+        assert plan.scripted_events("gpu1", 2) == []
+        assert plan.scripted_events("gpu0", 3) == []
+
+    def test_eligible_kinds_filtered_per_site(self):
+        plan = FaultPlan.from_rate(0, 0.1, kinds=FAULT_KINDS)
+        assert set(plan.eligible_kinds("pcie")) == {"corrupt", "stall"}
+        assert set(plan.eligible_kinds("host")) == {"stall"}
+        assert set(plan.eligible_kinds("gpu0")) == {"poison", "stall", "dropout"}
+
+    def test_eligible_kinds_respect_plan_kinds(self):
+        plan = FaultPlan.from_rate(0, 0.1, kinds=("poison",))
+        assert plan.eligible_kinds("pcie") == ()
+        assert plan.eligible_kinds("gpu2") == ("poison",)
+
+    def test_describe_is_json_friendly(self):
+        import json
+
+        plan = FaultPlan.from_rate(7, 1e-3, max_faults=2)
+        desc = plan.describe()
+        assert desc["seed"] == 7 and desc["rate"] == 1e-3
+        json.dumps(desc)

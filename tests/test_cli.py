@@ -64,6 +64,31 @@ class TestCli:
         assert code == 0
         assert (tmp_path / "trace_gmres_poisson2d.json").exists()
 
+    def test_faults_campaign(self, capsys):
+        code = main(
+            ["faults", "--nx", "16", "--m", "12", "--s", "4",
+             "--max-restarts", "40", "--trials", "2", "--rate", "1e-3"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "Fault campaign" in out
+        assert "Recoveries by action" in out
+        assert "totals:" in out
+
+    def test_faults_writes_json(self, tmp_path, capsys):
+        import json
+
+        code = main(
+            ["faults", "--nx", "12", "--m", "10", "--s", "4", "--trials", "1",
+             "--rate", "0", "--max-restarts", "30", "--out", str(tmp_path)]
+        )
+        assert code == 0
+        doc = json.loads(
+            (tmp_path / "faults_ca_gmres_poisson2d_seed0.json").read_text()
+        )
+        assert doc["config"]["trials"] == 1
+        assert doc["totals"]["injected"] == 0
+
     def test_unknown_command_rejected(self):
         with pytest.raises(SystemExit):
             main(["frobnicate"])
