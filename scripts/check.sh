@@ -1,19 +1,27 @@
 #!/usr/bin/env bash
 # Repo check: lint (when ruff is available) + tier-1 test suite.
 #
-# Usage: scripts/check.sh [--faults] [extra pytest args...]
+# Usage: scripts/check.sh [--faults] [--degrade] [extra pytest args...]
 #
-#   --faults   additionally run a small fault-injection smoke campaign
-#              (python -m repro faults) after the test suite.
+#   --faults    additionally run a small fault-injection smoke campaign
+#               (python -m repro faults) after the test suite.
+#   --degrade   additionally run a degraded-mode smoke campaign: device
+#               dropouts are injected and absorbed by repartitioning the
+#               solve over the surviving GPUs (python -m repro faults
+#               --degrade), with a simulated-time deadline armed.
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
 
 run_faults_smoke=0
-if [[ "${1:-}" == "--faults" ]]; then
-    run_faults_smoke=1
+run_degrade_smoke=0
+while [[ "${1:-}" == "--faults" || "${1:-}" == "--degrade" ]]; do
+    case "$1" in
+        --faults)  run_faults_smoke=1 ;;
+        --degrade) run_degrade_smoke=1 ;;
+    esac
     shift
-fi
+done
 
 if command -v ruff >/dev/null 2>&1; then
     echo "== ruff =="
@@ -29,4 +37,14 @@ if [[ "$run_faults_smoke" == 1 ]]; then
     echo "== fault-injection smoke campaign =="
     PYTHONPATH=src python -m repro faults \
         --nx 16 --m 12 --s 4 --max-restarts 40 --trials 2 --rate 1e-3
+fi
+
+if [[ "$run_degrade_smoke" == 1 ]]; then
+    echo "== degraded-mode smoke campaign (dropout -> repartition) =="
+    # seed 0 at this rate scripts a dropout on trial 0; with --degrade the
+    # solve repartitions onto the surviving GPUs and still converges.  The
+    # generous deadline arms the watchdog without tripping it.
+    PYTHONPATH=src python -m repro faults \
+        --nx 16 --m 12 --s 4 --max-restarts 40 --trials 2 --rate 2e-3 \
+        --gpus 3 --kinds corrupt,poison,stall,dropout --degrade --deadline 1.0
 fi

@@ -278,7 +278,8 @@ def _cmd_faults(args) -> int:
         n_gpus=args.gpus, seed=args.seed, rate=args.rate, kinds=kinds,
         trials=args.trials, s=args.s, m=args.m, tol=args.tol,
         max_restarts=args.max_restarts, stall_factor=args.stall_factor,
-        max_faults=args.max_faults,
+        max_faults=args.max_faults, degrade=args.degrade,
+        deadline=args.deadline,
     )
     print(campaign_tables(campaign))
     if args.out:
@@ -376,6 +377,12 @@ def main(argv: list[str] | None = None) -> int:
     p.add_argument("--stall-factor", type=float, default=8.0)
     p.add_argument("--max-faults", type=int, default=None,
                    help="cap on rate-drawn injections per trial")
+    p.add_argument("--degrade", action="store_true",
+                   help="absorb device dropouts by repartitioning over "
+                        "the surviving GPUs instead of aborting")
+    p.add_argument("--deadline", type=float, default=None,
+                   help="simulated-time budget per trial in seconds; the "
+                        "solve stops at the first restart boundary past it")
     p.add_argument("--out", default=None,
                    help="also write the campaign JSON to this directory")
     args = parser.parse_args(argv)

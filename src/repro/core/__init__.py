@@ -10,13 +10,16 @@
   Hessenberg problem;
 * :mod:`~repro.core.balance` — the row-then-column norm balancing the paper
   applies before iterating;
-* :mod:`~repro.core.convergence` — results, histories, and stopping logic.
+* :mod:`~repro.core.convergence` — results, histories, and stopping logic;
+* :mod:`~repro.core.degrade` — degraded-mode recovery: survive device loss
+  by repartitioning over the survivors, with deadlines and a watchdog.
 """
 
 from .arnoldi import host_arnoldi, host_ritz_values
 from .balance import BalanceResult, balance_matrix
 from .basis import build_change_of_basis, ritz_values
 from .convergence import ConvergenceHistory, SolveResult
+from .degrade import DegradationManager, DegradePolicy, derive_partition
 from .lsq import GivensHessenbergSolver, hessenberg_lstsq
 from .gmres import gmres
 from .ca_gmres import ca_gmres
@@ -24,6 +27,9 @@ from .pipelined import pipelined_gmres
 from .eigen import CaArnoldiResult, ca_arnoldi_eigs
 
 __all__ = [
+    "DegradationManager",
+    "DegradePolicy",
+    "derive_partition",
     "host_arnoldi",
     "host_ritz_values",
     "BalanceResult",

@@ -35,6 +35,8 @@ failure mode instead.
 
 from __future__ import annotations
 
+from types import SimpleNamespace
+
 import numpy as np
 import scipy.linalg
 
@@ -57,6 +59,7 @@ from ..sparse.csr import CsrMatrix
 from .balance import balance_matrix
 from .basis import build_change_of_basis, ritz_values
 from .convergence import ConvergenceHistory, SolveResult
+from .degrade import DegradationManager, DegradePolicy
 from .gmres import (
     checked_true_residual,
     compute_residual,
@@ -99,6 +102,8 @@ def ca_gmres(
     adaptive_s: bool = False,
     preconditioner=None,
     max_panel_retries: int = MAX_PANEL_RETRIES,
+    degrade: DegradePolicy | None = None,
+    deadline: float | None = None,
 ) -> SolveResult:
     """Solve ``A x = b`` with CA-GMRES(s, m) on simulated GPUs.
 
@@ -147,6 +152,15 @@ def ca_gmres(
         :class:`~repro.gpu.context.MultiGpuContext`), how many times one
         poisoned block is regenerated (MPK rerun + re-orthogonalization)
         before escalating to a restart-cycle redo.
+    degrade
+        Optional :class:`~repro.core.degrade.DegradePolicy`: a device
+        dropout mid-solve is absorbed by repartitioning over the
+        survivors (MPK plans are rebuilt for the new halo structure) and
+        resuming instead of aborting (see :mod:`repro.core.degrade`).
+    deadline
+        Optional simulated-time budget in seconds; the solve stops at the
+        first restart boundary past it (``details["degradation"]``
+        records the trip).
 
     Returns
     -------
@@ -170,6 +184,10 @@ def ca_gmres(
         raise ValueError(f"unknown on_breakdown {on_breakdown!r}")
     if ctx is None:
         ctx = MultiGpuContext(n_gpus)
+    elif ctx.inactive_devices:
+        # A previous degraded solve left the roster shrunken; restore the
+        # full device set (and pristine fault state) before partitioning.
+        ctx.reset_clocks()
     if partition is None:
         partition = block_row_partition(n, ctx.n_gpus)
 
@@ -178,22 +196,31 @@ def ca_gmres(
     A_solve = bal.matrix if bal is not None else A_pre
     b_solve = bal.scale_rhs(b) if bal is not None else b
 
-    dmat = DistributedMatrix(ctx, A_solve, partition)
-    V = DistMultiVector(ctx, partition, m + 1)
-    x = DistVector(ctx, partition)
-    b_dist = DistVector.from_host(ctx, partition, b_solve)
+    # Mutable solver state: the cycle closures and the degraded-mode
+    # rebuild both go through it, so a repartition swaps every distributed
+    # object at once and replayed cycles pick up the rebuilt versions.
+    st = SimpleNamespace(
+        partition=partition,
+        dmat=DistributedMatrix(ctx, A_solve, partition),
+        V=DistMultiVector(ctx, partition, m + 1),
+        x=DistVector(ctx, partition),
+        b=DistVector.from_host(ctx, partition, b_solve),
+    )
     if x0 is not None:
         if preconditioner is not None:
             raise ValueError("x0 with a preconditioner is not supported")
         start = (x0 / bal.col_scale) if bal is not None else x0
-        x.set_from_host(np.asarray(start, dtype=np.float64))
+        st.x.set_from_host(np.asarray(start, dtype=np.float64))
 
-    # Matrix powers kernels, one per distinct block length.
+    # Matrix powers kernels, one per distinct block length (invalidated on
+    # repartition — the halo/ghost structure is partition-specific).
     mpk_cache: dict[int, MatrixPowersKernel] = {}
 
     def get_mpk(length: int) -> MatrixPowersKernel:
         if length not in mpk_cache:
-            mpk_cache[length] = MatrixPowersKernel(ctx, A_solve, partition, length)
+            mpk_cache[length] = MatrixPowersKernel(
+                ctx, A_solve, st.partition, length
+            )
         return mpk_cache[length]
 
     if use_mpk:
@@ -203,8 +230,26 @@ def ca_gmres(
     ctx.reset_clocks()
     ctx.counters.reset()
 
+    def rebuild(new_partition, x_host):
+        st.partition = new_partition
+        st.dmat = DistributedMatrix(ctx, A_solve, new_partition)
+        st.V = DistMultiVector(ctx, new_partition, m + 1)
+        st.b = DistVector.from_host(ctx, new_partition, b_solve)
+        st.x = DistVector.from_host(ctx, new_partition, x_host)
+        mpk_cache.clear()
+        if use_mpk:
+            for length in {s, m % s} - {0}:
+                get_mpk(length)
+        return st.x
+
+    degrader = None
+    if degrade is not None or deadline is not None:
+        degrader = DegradationManager(
+            ctx, A_solve, rebuild, policy=degrade, deadline=deadline
+        )
+
     history = ConvergenceHistory()
-    r0 = b_solve - A_solve.matvec(gathered_solution(x))
+    r0 = b_solve - A_solve.matvec(gathered_solution(st.x))
     history.initial_residual = float(np.linalg.norm(r0))
     # Already at (numerical) convergence: a relative criterion on a zero
     # residual would be meaningless.  The documented details keys must be
@@ -217,7 +262,8 @@ def ca_gmres(
             early["tsqr_errors"] = []
         if adaptive_s:
             early["s_history"] = []
-        return _finish(ctx, x, bal, True, 0, 0, history, 0, early, preconditioner)
+        return _finish(ctx, st.x, bal, True, 0, 0, history, 0, early,
+                       preconditioner, degrader=degrader)
     abs_tol = tol * history.initial_residual
 
     shifts: np.ndarray | None = None
@@ -230,18 +276,20 @@ def ca_gmres(
     adapt_state = {"s_eff": s, "history": []} if adaptive_s else None
 
     for _ in range(max_restarts):
+        if degrader is not None and degrader.deadline_reached():
+            break
         ctx.mark_cycle()
         if basis == "newton" and shifts is None:
             # Shift-seeding cycle: standard GMRES, Ritz values from its H.
             def cycle(offset=iterations):
                 info = run_gmres_cycle(
-                    ctx, dmat, V, x, b_dist, m, abs_tol,
+                    ctx, st.dmat, st.V, st.x, st.b, m, abs_tol,
                     history=history, iteration_offset=offset,
                 )
-                return info, checked_true_residual(ctx, A_solve, b_solve, x)
+                return info, checked_true_residual(ctx, A_solve, b_solve, st.x)
 
             outcome, aborted = run_cycle_resilient(
-                ctx, cycle, x, history, unrecovered
+                ctx, cycle, st.x, history, unrecovered, degrader=degrader
             )
             if aborted:
                 break
@@ -257,16 +305,16 @@ def ca_gmres(
         else:
             def cycle(offset=iterations, restart_index=restarts):
                 result = _ca_cycle(
-                    ctx, dmat, V, x, b_dist, s, m, basis, shifts,
+                    ctx, st.dmat, st.V, st.x, st.b, s, m, basis, shifts,
                     tsqr_method, tsqr_variant, borth_method, reorth,
                     use_mpk, get_mpk, abs_tol, history, offset,
                     on_breakdown, collect_tsqr_errors, tsqr_errors,
                     restart_index, adapt_state, max_panel_retries,
                 )
-                return result, checked_true_residual(ctx, A_solve, b_solve, x)
+                return result, checked_true_residual(ctx, A_solve, b_solve, st.x)
 
             outcome, aborted = run_cycle_resilient(
-                ctx, cycle, x, history, unrecovered
+                ctx, cycle, st.x, history, unrecovered, degrader=degrader
             )
             if aborted:
                 break
@@ -284,8 +332,8 @@ def ca_gmres(
     if adapt_state is not None:
         details["s_history"] = adapt_state["history"]
     return _finish(
-        ctx, x, bal, converged, restarts, iterations, history, breakdowns,
-        details, preconditioner, unrecovered,
+        ctx, st.x, bal, converged, restarts, iterations, history, breakdowns,
+        details, preconditioner, unrecovered, degrader=degrader,
     )
 
 
@@ -484,7 +532,7 @@ def _recover_hessenberg(S_full, G_full, t: int) -> np.ndarray:
 
 def _finish(
     ctx, x, bal, converged, restarts, iterations, history, breakdowns,
-    details, preconditioner=None, unrecovered=None,
+    details, preconditioner=None, unrecovered=None, degrader=None,
 ):
     x_host = gathered_solution(x)
     if bal is not None:
@@ -495,6 +543,8 @@ def _finish(
     details["profile"] = ctx.trace.profile()
     if ctx.faults.has_activity() or unrecovered:
         details["faults"] = ctx.faults.report(unrecovered)
+    if degrader is not None:
+        details["degradation"] = degrader.report()
     return SolveResult(
         x=x_host,
         converged=converged,

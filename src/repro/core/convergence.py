@@ -81,6 +81,15 @@ class SolveResult:
         instead of raising), and summary ``counts``.  The key is *absent*
         for fault-free runs, so a zero-rate plan leaves results
         bit-identical.
+
+        When the solver ran with a degrade policy or a deadline, drivers
+        attach ``details["degradation"]`` (see
+        :meth:`repro.core.degrade.DegradationManager.report`): the
+        policy, the initial/final device counts, one record per
+        repartition performed (lost devices, time, surviving part
+        sizes), and whether/when the simulated-time deadline tripped.
+        The key is absent when neither was requested, keeping such runs
+        bit-identical to earlier behavior.
     """
 
     x: np.ndarray

@@ -14,6 +14,7 @@ against; :func:`run_gmres_cycle` is also reused by CA-GMRES for its first
 from __future__ import annotations
 
 from dataclasses import dataclass
+from types import SimpleNamespace
 
 import numpy as np
 
@@ -26,6 +27,7 @@ from ..orth.single import orthogonalize_vector
 from ..sparse.csr import CsrMatrix
 from .balance import balance_matrix
 from .convergence import ConvergenceHistory, SolveResult
+from .degrade import DegradationManager, DegradePolicy
 from .lsq import GivensHessenbergSolver
 from .resilience import guard_finite, run_cycle_resilient
 
@@ -179,6 +181,8 @@ def gmres(
     balance: bool = True,
     x0: np.ndarray | None = None,
     preconditioner=None,
+    degrade: DegradePolicy | None = None,
+    deadline: float | None = None,
 ) -> SolveResult:
     """Solve ``A x = b`` with restarted GMRES(m) on simulated GPUs.
 
@@ -211,6 +215,15 @@ def gmres(
         Optional right preconditioner with ``fold(A)`` / ``recover(y)``
         methods (see :mod:`repro.precond`); the solver iterates on the
         folded operator ``A M^{-1}`` and maps the solution back.
+    degrade
+        Optional :class:`~repro.core.degrade.DegradePolicy`: a device
+        dropout mid-solve is absorbed by repartitioning over the
+        survivors and resuming instead of aborting (see
+        :mod:`repro.core.degrade`).
+    deadline
+        Optional simulated-time budget in seconds; the solve stops at the
+        first restart boundary past it (``details["degradation"]``
+        records the trip).
 
     Returns
     -------
@@ -229,6 +242,10 @@ def gmres(
         raise ValueError(f"restart length m={m} out of range [1, {n}]")
     if ctx is None:
         ctx = MultiGpuContext(n_gpus)
+    elif ctx.inactive_devices:
+        # A previous degraded solve left the roster shrunken; restore the
+        # full device set (and pristine fault state) before partitioning.
+        ctx.reset_clocks()
     if partition is None:
         partition = block_row_partition(n, ctx.n_gpus)
 
@@ -237,26 +254,47 @@ def gmres(
     A_solve = bal.matrix if bal is not None else A_pre
     b_solve = bal.scale_rhs(b) if bal is not None else b
 
-    dmat = DistributedMatrix(ctx, A_solve, partition)
-    V = DistMultiVector(ctx, partition, m + 1)
-    x = DistVector(ctx, partition)
-    b_dist = DistVector.from_host(ctx, partition, b_solve)
+    # Mutable solver state: the cycle closure and the degraded-mode rebuild
+    # both go through it, so a repartition swaps every distributed object
+    # at once and replayed cycles pick up the rebuilt versions.
+    st = SimpleNamespace(
+        partition=partition,
+        dmat=DistributedMatrix(ctx, A_solve, partition),
+        V=DistMultiVector(ctx, partition, m + 1),
+        x=DistVector(ctx, partition),
+        b=DistVector.from_host(ctx, partition, b_solve),
+    )
     if x0 is not None:
         if preconditioner is not None:
             raise ValueError("x0 with a preconditioner is not supported")
         start = (x0 / bal.col_scale) if bal is not None else x0
-        x.set_from_host(np.asarray(start, dtype=np.float64))
+        st.x.set_from_host(np.asarray(start, dtype=np.float64))
     ctx.reset_clocks()
     ctx.counters.reset()
 
+    def rebuild(new_partition, x_host):
+        st.partition = new_partition
+        st.dmat = DistributedMatrix(ctx, A_solve, new_partition)
+        st.V = DistMultiVector(ctx, new_partition, m + 1)
+        st.b = DistVector.from_host(ctx, new_partition, b_solve)
+        st.x = DistVector.from_host(ctx, new_partition, x_host)
+        return st.x
+
+    degrader = None
+    if degrade is not None or deadline is not None:
+        degrader = DegradationManager(
+            ctx, A_solve, rebuild, policy=degrade, deadline=deadline
+        )
+
     history = ConvergenceHistory()
-    r0 = b_solve - A_solve.matvec(gathered_solution(x))
+    r0 = b_solve - A_solve.matvec(gathered_solution(st.x))
     history.initial_residual = float(np.linalg.norm(r0))
     # Already at (numerical) convergence: a relative criterion on a zero
     # residual would be meaningless.
     floor = 100.0 * np.finfo(np.float64).eps * float(np.linalg.norm(b_solve))
     if history.initial_residual <= floor:
-        return _finish(ctx, x, bal, True, 0, 0, history, 0, preconditioner)
+        return _finish(ctx, st.x, bal, True, 0, 0, history, 0, preconditioner,
+                       degrader=degrader)
     abs_tol = tol * history.initial_residual
 
     converged = False
@@ -264,15 +302,17 @@ def gmres(
     iterations = 0
     unrecovered: list[dict] = []
     for _ in range(max_restarts):
+        if degrader is not None and degrader.deadline_reached():
+            break
         ctx.mark_cycle()
 
         def cycle(offset=iterations):
             info = run_gmres_cycle(
                 ctx,
-                dmat,
-                V,
-                x,
-                b_dist,
+                st.dmat,
+                st.V,
+                st.x,
+                st.b,
                 m,
                 abs_tol,
                 orth_method=orth_method,
@@ -281,9 +321,11 @@ def gmres(
                 iteration_offset=offset,
             )
             # True residual at the restart boundary (uncosted diagnostic).
-            return info, checked_true_residual(ctx, A_solve, b_solve, x)
+            return info, checked_true_residual(ctx, A_solve, b_solve, st.x)
 
-        outcome, aborted = run_cycle_resilient(ctx, cycle, x, history, unrecovered)
+        outcome, aborted = run_cycle_resilient(
+            ctx, cycle, st.x, history, unrecovered, degrader=degrader
+        )
         if aborted:
             break
         info, true_res = outcome
@@ -294,14 +336,14 @@ def gmres(
             converged = True
             break
     return _finish(
-        ctx, x, bal, converged, restarts, iterations, history, 0, preconditioner,
-        unrecovered,
+        ctx, st.x, bal, converged, restarts, iterations, history, 0, preconditioner,
+        unrecovered, degrader=degrader,
     )
 
 
 def _finish(
     ctx, x, bal, converged, restarts, iterations, history, breakdowns,
-    preconditioner=None, unrecovered=None,
+    preconditioner=None, unrecovered=None, degrader=None,
 ):
     x_host = gathered_solution(x)
     if bal is not None:
@@ -311,6 +353,8 @@ def _finish(
     details = {"profile": ctx.trace.profile()}
     if ctx.faults.has_activity() or unrecovered:
         details["faults"] = ctx.faults.report(unrecovered)
+    if degrader is not None:
+        details["degradation"] = degrader.report()
     return SolveResult(
         x=x_host,
         converged=converged,

@@ -31,6 +31,8 @@ record of that studied-and-rejected design point.
 
 from __future__ import annotations
 
+from types import SimpleNamespace
+
 import numpy as np
 
 from ..dist.matrix import DistributedMatrix
@@ -42,6 +44,7 @@ from ..orth.errors import OrthogonalizationError
 from ..sparse.csr import CsrMatrix
 from .balance import balance_matrix
 from .convergence import ConvergenceHistory, SolveResult
+from .degrade import DegradationManager, DegradePolicy
 from .gmres import (
     checked_true_residual,
     compute_residual,
@@ -65,11 +68,17 @@ def pipelined_gmres(
     max_restarts: int = 500,
     gemv_variant: str = "magma",
     balance: bool = True,
+    degrade: DegradePolicy | None = None,
+    deadline: float | None = None,
 ) -> SolveResult:
     """Solve ``A x = b`` with one-stage pipelined GMRES(m).
 
     Same interface subset as :func:`repro.core.gmres.gmres` (CGS
     orthogonalization only — the pipelining targets CGS's norm round trip).
+    ``degrade``/``deadline`` behave as in :func:`~repro.core.gmres.gmres`:
+    device dropouts are absorbed by repartitioning over the survivors, and
+    the solve stops at the first restart boundary past the simulated-time
+    budget.
 
     Returns
     -------
@@ -87,6 +96,10 @@ def pipelined_gmres(
         raise ValueError(f"restart length m={m} out of range [1, {n}]")
     if ctx is None:
         ctx = MultiGpuContext(n_gpus)
+    elif ctx.inactive_devices:
+        # A previous degraded solve left the roster shrunken; restore the
+        # full device set (and pristine fault state) before partitioning.
+        ctx.reset_clocks()
     if partition is None:
         partition = block_row_partition(n, ctx.n_gpus)
 
@@ -94,18 +107,37 @@ def pipelined_gmres(
     A_solve = bal.matrix if bal is not None else matrix
     b_solve = bal.scale_rhs(b) if bal is not None else b
 
-    dmat = DistributedMatrix(ctx, A_solve, partition)
-    V = DistMultiVector(ctx, partition, m + 1)
-    x = DistVector(ctx, partition)
-    b_dist = DistVector.from_host(ctx, partition, b_solve)
+    # Mutable solver state shared by the cycle closure and the
+    # degraded-mode rebuild (see repro.core.degrade).
+    st = SimpleNamespace(
+        partition=partition,
+        dmat=DistributedMatrix(ctx, A_solve, partition),
+        V=DistMultiVector(ctx, partition, m + 1),
+        x=DistVector(ctx, partition),
+        b=DistVector.from_host(ctx, partition, b_solve),
+    )
     ctx.reset_clocks()
     ctx.counters.reset()
+
+    def rebuild(new_partition, x_host):
+        st.partition = new_partition
+        st.dmat = DistributedMatrix(ctx, A_solve, new_partition)
+        st.V = DistMultiVector(ctx, new_partition, m + 1)
+        st.b = DistVector.from_host(ctx, new_partition, b_solve)
+        st.x = DistVector.from_host(ctx, new_partition, x_host)
+        return st.x
+
+    degrader = None
+    if degrade is not None or deadline is not None:
+        degrader = DegradationManager(
+            ctx, A_solve, rebuild, policy=degrade, deadline=deadline
+        )
 
     history = ConvergenceHistory()
     history.initial_residual = float(np.linalg.norm(b_solve))
     floor = 100.0 * np.finfo(np.float64).eps * history.initial_residual
     if history.initial_residual <= floor:
-        return _finish(ctx, x, bal, True, 0, 0, history)
+        return _finish(ctx, st.x, bal, True, 0, 0, history, degrader=degrader)
     abs_tol = tol * history.initial_residual
 
     converged = False
@@ -113,16 +145,20 @@ def pipelined_gmres(
     iterations = 0
     unrecovered: list[dict] = []
     for _ in range(max_restarts):
+        if degrader is not None and degrader.deadline_reached():
+            break
         ctx.mark_cycle()
 
         def cycle(offset=iterations):
             j_used = _pipelined_cycle(
-                ctx, dmat, V, x, b_dist, m, abs_tol, gemv_variant, history,
-                offset,
+                ctx, st.dmat, st.V, st.x, st.b, m, abs_tol, gemv_variant,
+                history, offset,
             )
-            return j_used, checked_true_residual(ctx, A_solve, b_solve, x)
+            return j_used, checked_true_residual(ctx, A_solve, b_solve, st.x)
 
-        outcome, aborted = run_cycle_resilient(ctx, cycle, x, history, unrecovered)
+        outcome, aborted = run_cycle_resilient(
+            ctx, cycle, st.x, history, unrecovered, degrader=degrader
+        )
         if aborted:
             break
         j_used, true_res = outcome
@@ -133,7 +169,8 @@ def pipelined_gmres(
             converged = True
             break
     return _finish(
-        ctx, x, bal, converged, restarts, iterations, history, unrecovered
+        ctx, st.x, bal, converged, restarts, iterations, history, unrecovered,
+        degrader=degrader,
     )
 
 
@@ -229,13 +266,16 @@ def _pipelined_cycle(
     return j_used
 
 
-def _finish(ctx, x, bal, converged, restarts, iterations, history, unrecovered=None):
+def _finish(ctx, x, bal, converged, restarts, iterations, history,
+            unrecovered=None, degrader=None):
     x_host = gathered_solution(x)
     if bal is not None:
         x_host = bal.unscale_solution(x_host)
     details = {"profile": ctx.trace.profile()}
     if ctx.faults.has_activity() or unrecovered:
         details["faults"] = ctx.faults.report(unrecovered)
+    if degrader is not None:
+        details["degradation"] = degrader.report()
     return SolveResult(
         x=x_host,
         converged=converged,

@@ -18,10 +18,18 @@ coefficients, TSQR R factors — so the guards never perturb the simulated
 timeline: with a zero-rate plan, results and timings are bit-identical to
 an unguarded run.
 
-Unrecoverable faults (device dropout, exhausted retry budgets) do not
-raise out of the solvers; they abort the solve and surface as the
-structured ``SolveResult.details["faults"]`` report (see
-:meth:`repro.faults.injector.FaultInjector.report`).
+Unrecoverable faults (exhausted retry budgets) do not raise out of the
+solvers; they abort the solve and surface as the structured
+``SolveResult.details["faults"]`` report (see
+:meth:`repro.faults.injector.FaultInjector.report`).  Device dropout is
+terminal too by default, but a solver that passes a
+:class:`~repro.core.degrade.DegradationManager` adds a fourth layer:
+
+4. **Degraded-mode repartition** — a :class:`~repro.faults.errors.
+   DeviceLost` that escapes the cycle is absorbed by deactivating the dead
+   device, repartitioning the problem over the survivors, rebuilding the
+   distributed state from the cycle checkpoint, and replaying the cycle on
+   n-1 GPUs (see :mod:`repro.core.degrade`).
 """
 
 from __future__ import annotations
@@ -96,7 +104,7 @@ def _restore_history(history, snap: tuple[int, int]) -> None:
 
 def run_cycle_resilient(
     ctx, cycle, x, history, unrecovered: list[dict],
-    max_redos: int = MAX_CYCLE_REDOS,
+    max_redos: int = MAX_CYCLE_REDOS, degrader=None,
 ):
     """Run one restart cycle with checkpoint/redo semantics.
 
@@ -106,7 +114,10 @@ def run_cycle_resilient(
         The execution context (its injector logs recoveries).
     cycle
         Zero-argument callable performing the cycle; may raise any of
-        :data:`RECOVERABLE_FAULTS` or :class:`DeviceLost`.
+        :data:`RECOVERABLE_FAULTS` or :class:`DeviceLost`.  When a
+        degrader is attached the callable must read its inputs from
+        mutable solver state so a replay after repartitioning picks up the
+        rebuilt objects.
     x
         Distributed solution vector — checkpointed before the attempt and
         rolled back on failure (a fault mid-cycle must not leave a
@@ -119,6 +130,13 @@ def run_cycle_resilient(
         (``error``/``message``/``time``[/``site``]) here.
     max_redos
         Redo budget per cycle.
+    degrader
+        Optional :class:`~repro.core.degrade.DegradationManager`.  A
+        :class:`DeviceLost` is offered to it first: on absorption the
+        problem is repartitioned over the survivors and the cycle replayed
+        (not charged against the redo budget — losing a device is not the
+        cycle's fault); on refusal the historical structured-abort path
+        runs unchanged.
 
     Returns
     -------
@@ -130,7 +148,8 @@ def run_cycle_resilient(
         return cycle(), False
     checkpoint = snapshot_solution(x)
     hist_mark = _snapshot_history(history)
-    for attempt in range(max_redos + 1):
+    attempt = 0
+    while True:
         try:
             return cycle(), False
         except RECOVERABLE_FAULTS as exc:
@@ -150,9 +169,20 @@ def run_cycle_resilient(
                 "cycle-redo", time=ctx.current_time(),
                 cause=type(exc).__name__, attempt=attempt + 1,
             )
+            attempt += 1
         except DeviceLost as exc:
-            restore_solution(x, checkpoint)
             _restore_history(history, hist_mark)
+            new_x = None
+            if degrader is not None:
+                new_x = degrader.absorb(exc, x, checkpoint)
+            if new_x is not None:
+                # Absorbed: the solver state now lives on the survivors.
+                # Re-checkpoint and replay the cycle from the restart
+                # boundary; the redo budget is untouched.
+                x = new_x
+                checkpoint = snapshot_solution(x)
+                continue
+            restore_solution(x, checkpoint)
             unrecovered.append(
                 {
                     "error": "DeviceLost",
@@ -162,4 +192,3 @@ def run_cycle_resilient(
                 }
             )
             return None, True
-    raise AssertionError("unreachable")  # pragma: no cover

@@ -63,8 +63,17 @@ def run_trial(
     max_restarts: int = 80,
     stall_factor: float = 8.0,
     max_faults: int | None = None,
+    degrade: bool = False,
+    deadline: float | None = None,
 ) -> dict:
-    """One solve under one fault plan; returns a flat record."""
+    """One solve under one fault plan; returns a flat record.
+
+    With ``degrade`` the solve runs under a default
+    :class:`~repro.core.degrade.DegradePolicy`: device dropouts are
+    absorbed by repartitioning over the survivors instead of aborting.
+    ``deadline`` sets a simulated-time budget in seconds.
+    """
+    from ..core.degrade import DegradePolicy
     from ..gpu.context import MultiGpuContext
 
     solve = _solvers()[solver]
@@ -77,11 +86,16 @@ def run_trial(
     kwargs = dict(ctx=ctx, m=m, tol=tol, max_restarts=max_restarts)
     if solver == "ca_gmres":
         kwargs["s"] = s
+    if degrade:
+        kwargs["degrade"] = DegradePolicy()
+    if deadline is not None:
+        kwargs["deadline"] = deadline
     # Poisoned values legitimately flow through a few kernels before a
     # guard catches them; silence the resulting NumPy warnings locally.
     with np.errstate(invalid="ignore", over="ignore"):
         result = solve(A, b, **kwargs)
     faults = result.details.get("faults", _EMPTY_FAULTS)
+    degradation = result.details.get("degradation")
     injected_by_kind = dict(Counter(r["kind"] for r in faults["injected"]))
     recoveries_by_action = dict(Counter(r["action"] for r in faults["recovered"]))
     return {
@@ -101,6 +115,13 @@ def run_trial(
         "schedule": [
             (r["site"], r["kind"], r["index"]) for r in faults["injected"]
         ],
+        "repartitions": 0 if degradation is None else degradation["n_repartitions"],
+        "final_devices": (
+            n_gpus if degradation is None else degradation["final_devices"]
+        ),
+        "deadline_exceeded": (
+            False if degradation is None else bool(degradation["deadline_exceeded"])
+        ),
     }
 
 
@@ -119,12 +140,15 @@ def run_campaign(
     max_restarts: int = 80,
     stall_factor: float = 8.0,
     max_faults: int | None = None,
+    degrade: bool = False,
+    deadline: float | None = None,
 ) -> dict:
     """Run ``trials`` solves (trial ``i`` seeded ``seed + i``); aggregate.
 
     Returns a JSON-friendly dict with the configuration, per-trial
     records (:func:`run_trial`), and campaign totals.  Deterministic:
-    identical arguments produce an identical dict.
+    identical arguments produce an identical dict.  ``degrade`` and
+    ``deadline`` are forwarded to every trial (see :func:`run_trial`).
     """
     if trials < 1:
         raise ValueError("trials must be >= 1")
@@ -133,13 +157,14 @@ def run_campaign(
         "seed": seed, "rate": rate, "kinds": list(kinds), "trials": trials,
         "s": s, "m": m, "tol": tol, "max_restarts": max_restarts,
         "stall_factor": stall_factor, "max_faults": max_faults,
+        "degrade": degrade, "deadline": deadline,
     }
     records = [
         run_trial(
             solver=solver, problem=problem, nx=nx, n_gpus=n_gpus,
             seed=seed + i, rate=rate, kinds=kinds, s=s, m=m, tol=tol,
             max_restarts=max_restarts, stall_factor=stall_factor,
-            max_faults=max_faults,
+            max_faults=max_faults, degrade=degrade, deadline=deadline,
         )
         for i in range(trials)
     ]
@@ -157,27 +182,43 @@ def run_campaign(
         "recoveries_by_action": dict(sorted(by_action.items())),
         "converged_trials": sum(r["converged"] for r in records),
         "aborted_trials": sum(r["aborted"] for r in records),
+        "repartitions": sum(r["repartitions"] for r in records),
+        "deadline_exceeded_trials": sum(r["deadline_exceeded"] for r in records),
     }
     return {"config": config, "trials": records, "totals": totals}
 
 
 def campaign_tables(campaign: dict) -> str:
-    """Human-readable per-trial + recovery-summary tables."""
+    """Human-readable per-trial + recovery-summary tables.
+
+    Degraded-mode columns (repartitions, final device count, deadline
+    hits) appear only when the campaign ran with ``degrade`` or a
+    ``deadline`` — the default table stays byte-stable.
+    """
     from ..harness import format_table
 
     cfg = campaign["config"]
-    rows = [
-        [
+    degraded_mode = bool(cfg.get("degrade")) or cfg.get("deadline") is not None
+    headers = ["trial", "seed", "conv", "rest", "iter", "sim ms",
+               "inj", "det", "rec", "unrec", "lost"]
+    if degraded_mode:
+        headers += ["rep", "dev", "ddl"]
+    rows = []
+    for i, r in enumerate(campaign["trials"]):
+        row = [
             i, r["seed"], "yes" if r["converged"] else "no",
             r["restarts"], r["iterations"], f"{r['sim_time_ms']:.2f}",
             r["injected"], r["detected"], r["recovered"], r["unrecovered"],
             ",".join(r["lost_devices"]) or "-",
         ]
-        for i, r in enumerate(campaign["trials"])
-    ]
+        if degraded_mode:
+            row += [
+                r["repartitions"], r["final_devices"],
+                "yes" if r["deadline_exceeded"] else "no",
+            ]
+        rows.append(row)
     trial_table = format_table(
-        ["trial", "seed", "conv", "rest", "iter", "sim ms",
-         "inj", "det", "rec", "unrec", "lost"],
+        headers,
         rows,
         title=(
             f"Fault campaign — {cfg['solver']} on {cfg['n_gpus']} GPU(s), "
@@ -204,4 +245,9 @@ def campaign_tables(campaign: dict) -> str:
         f"{t['converged_trials']}/{cfg['trials']} trials converged, "
         f"{t['aborted_trials']} aborted"
     )
+    if degraded_mode:
+        tail += (
+            f"; {t['repartitions']} repartition(s), "
+            f"{t['deadline_exceeded_trials']} deadline-exceeded trial(s)"
+        )
     return "\n\n".join([trial_table, summary, actions, tail])

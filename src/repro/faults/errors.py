@@ -5,8 +5,11 @@ These are deliberately *not* subclasses of the orthogonalization errors in
 property of the panel that the CholQR->CAQR fallback handles, while the
 exceptions here describe the simulated machine misbehaving.  The solvers
 treat :class:`TransferCorruption` as recoverable (retry the transfer, the
-panel, or the restart cycle) and :class:`DeviceLost` as terminal (finish
-with a structured failure report instead of raising).
+panel, or the restart cycle).  :class:`DeviceLost` is terminal by default
+(finish with a structured failure report instead of raising), but a
+solver given a :class:`~repro.core.degrade.DegradePolicy` absorbs it by
+repartitioning the solve over the surviving devices and resuming (see
+:mod:`repro.core.degrade`).
 """
 
 from __future__ import annotations
@@ -25,6 +28,10 @@ class FaultError(RuntimeError):
 
 class DeviceLost(FaultError):
     """A device dropped off the bus; all further work on it is impossible.
+
+    Without a degrade policy the solve finishes early with a structured
+    ``details["faults"]`` report; with one, the loss is absorbed by a
+    live repartition onto the survivors.
 
     Attributes
     ----------

@@ -69,6 +69,7 @@ class FaultInjector:
         self.injected: list[dict] = []
         self.detections: list[dict] = []
         self.recoveries: list[dict] = []
+        self.degradations: list[dict] = []
         self.dead: set[str] = set()
         self._counts: dict[str, int] = {}
         self._rngs: dict[str, np.random.Generator] = {}
@@ -199,6 +200,23 @@ class FaultInjector:
             self.trace.record(
                 f"recover {action}", FAULT_LANE, "recover", time, 0.0, **info
             )
+
+    def note_degradation(self, event: str, time: float, site: str | None = None, **info) -> None:
+        """Log a degraded-mode event (``degraded`` | ``repartition`` |
+        ``deadline-exceeded``) on the fault trace lane.
+
+        The canonical degradation record lives in
+        ``SolveResult.details["degradation"]`` (built by
+        :class:`repro.core.degrade.DegradationManager`); this mirror puts
+        the event next to the faults/kernels it follows in timeline
+        exports, and works even with no plan attached (deadline watchdogs
+        run on fault-free contexts too).
+        """
+        record = {"event": event, "site": site, "time": float(time), **info}
+        self.degradations.append(record)
+        if self.trace is not None:
+            name = event if site is None else f"{event} {site}"
+            self.trace.record(name, FAULT_LANE, event, time, 0.0, site=site, **info)
 
     # ------------------------------------------------------------------
     # Reporting

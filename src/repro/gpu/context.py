@@ -23,7 +23,7 @@ from contextlib import contextmanager
 
 import numpy as np
 
-from ..faults.errors import TransferCorruption
+from ..faults.errors import DeviceLost, TransferCorruption
 from ..faults.injector import FaultInjector
 from ..perf.machine import MachineSpec, keeneland_node
 from ..perf.model import PerformanceModel
@@ -77,10 +77,14 @@ class MultiGpuContext:
         self.trace = TraceRecorder()
         self.faults = FaultInjector(fault_plan, trace=self.trace)
         self.validate_transfers = bool(validate_transfers)
-        self.devices = [
+        #: The full device roster as built; never shrinks.  ``devices`` is
+        #: the *active* subset — identical until a device is deactivated.
+        self.all_devices = tuple(
             Device(d, self.perf, self.counters, trace=self.trace, faults=self.faults)
             for d in range(n_gpus)
-        ]
+        )
+        self.devices = list(self.all_devices)
+        self._inactive: set[str] = set()
         self.host = Host(self.perf, self.counters, trace=self.trace, faults=self.faults)
         self.bus = PcieBus(machine.pcie, trace=self.trace, faults=self.faults)
 
@@ -97,6 +101,51 @@ class MultiGpuContext:
     @property
     def n_gpus(self) -> int:
         return len(self.devices)
+
+    @property
+    def inactive_devices(self) -> list[str]:
+        """Names of devices deactivated mid-run (sorted)."""
+        return sorted(self._inactive)
+
+    # ------------------------------------------------------------------
+    # Device roster management (degraded-mode operation)
+    # ------------------------------------------------------------------
+    def deactivate_device(self, device) -> Device:
+        """Remove a device from the active roster mid-run.
+
+        ``device`` may be a :class:`Device`, its name (``"gpu1"``), or its
+        device id.  The device's PCIe lanes are torn down (further
+        transfers raise :class:`DeviceLost`), it stops contributing to
+        :meth:`current_time`/:meth:`sync`, and collectives/broadcasts
+        iterate over the survivors only.  The roster is restored by
+        :meth:`reset_clocks`, so reruns on this context replay the same
+        degradation deterministically.  Deactivating the last active
+        device is refused.
+        """
+        if isinstance(device, Device):
+            dev = device
+        elif isinstance(device, str):
+            matches = [d for d in self.all_devices if d.name == device]
+            if not matches:
+                raise ValueError(f"unknown device {device!r}")
+            dev = matches[0]
+        else:
+            dev = self.all_devices[int(device)]
+        if dev not in self.devices:
+            raise ValueError(f"device {dev.name} is already inactive")
+        if len(self.devices) == 1:
+            raise ValueError("cannot deactivate the last active device")
+        self.devices.remove(dev)
+        self._inactive.add(dev.name)
+        self.bus.deactivate_peer(dev.name)
+        self.counters.device_deactivations += 1
+        return dev
+
+    def _require_active(self, device: Device) -> None:
+        if device.name in self._inactive:
+            raise DeviceLost(
+                device.name, f"transfer issued for deactivated device {device.name}"
+            )
 
     # ------------------------------------------------------------------
     # Clock management
@@ -117,12 +166,16 @@ class MultiGpuContext:
         """Zero all clocks, the bus, the event trace — and the fault state.
 
         Resetting the injector restores its RNG streams and occurrence
-        counters, so every solve started on this context replays the same
-        deterministic fault schedule.
+        counters, and the device roster is restored to the full set built
+        at construction, so every solve started on this context replays
+        the same deterministic fault schedule — including any mid-run
+        device deactivations a degrade policy performed.
         """
         self.host.clock = 0.0
         self.host._poison_pending = None
-        for dev in self.devices:
+        self.devices = list(self.all_devices)
+        self._inactive.clear()
+        for dev in self.all_devices:
             dev.clock = 0.0
             dev._poison_pending = None
         self.bus.reset()
@@ -159,6 +212,7 @@ class MultiGpuContext:
         source array is untouched, so the caller may simply retry.
         """
         array = np.asarray(array)
+        self._require_active(device)
         if self.faults.active:
             self.faults.check_alive(device.name)
         end = self.bus.schedule(
@@ -190,6 +244,7 @@ class MultiGpuContext:
         though the device's compute clock has since moved on).
         """
         ready = darr.device.clock if ready_at is None else min(ready_at, darr.device.clock)
+        self._require_active(darr.device)
         if self.faults.active:
             self.faults.check_alive(darr.device.name)
         end = self.bus.schedule(

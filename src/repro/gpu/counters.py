@@ -26,6 +26,8 @@ class Counters:
     device_flops: float = 0.0
     host_flops: float = 0.0
     host_small_ops: int = 0
+    device_deactivations: int = 0
+    repartitions: int = 0
     kernel_counts: dict = field(default_factory=dict)  # "op/variant" -> launches
     _marks: dict = field(default_factory=dict, repr=False)
 
@@ -54,6 +56,8 @@ class Counters:
         self.device_flops = 0.0
         self.host_flops = 0.0
         self.host_small_ops = 0
+        self.device_deactivations = 0
+        self.repartitions = 0
         self.kernel_counts = {}
 
     def snapshot(self) -> dict:
@@ -67,6 +71,8 @@ class Counters:
             "device_flops": self.device_flops,
             "host_flops": self.host_flops,
             "host_small_ops": self.host_small_ops,
+            "device_deactivations": self.device_deactivations,
+            "repartitions": self.repartitions,
             "kernel_counts": dict(self.kernel_counts),
         }
 

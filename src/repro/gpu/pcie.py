@@ -14,6 +14,7 @@ SpMV bottleneck that MPK amortizes (Section IV).  The model:
 
 from __future__ import annotations
 
+from ..faults.errors import DeviceLost
 from ..perf.machine import PcieSpec
 
 __all__ = ["PcieBus"]
@@ -30,6 +31,14 @@ class PcieBus:
         #: (transfer corruption is left pending for the context to apply
         #: to the arriving payload copy, stalls extend the occupancy).
         self.faults = faults
+        #: Peers whose lanes were torn down by a mid-run device
+        #: deactivation; scheduling a message for one raises
+        #: :class:`DeviceLost` (see :meth:`deactivate_peer`).
+        self.deactivated: set[str] = set()
+
+    def deactivate_peer(self, peer: str) -> None:
+        """Tear down ``peer``'s lanes: further messages to/from it raise."""
+        self.deactivated.add(peer)
 
     def message_time(self, nbytes: int) -> float:
         """Cost of one message of ``nbytes`` in isolation."""
@@ -47,6 +56,8 @@ class PcieBus:
         the bus-occupancy interval is recorded in the ``pcie`` lane with the
         transfer direction (``kind``), byte count, and ``peer`` device.
         """
+        if peer is not None and peer in self.deactivated:
+            raise DeviceLost(peer, f"{kind} message scheduled for lost device {peer}")
         start = max(ready_at, self.busy_until) if self.spec.shared_bus else ready_at
         end = start + self.message_time(nbytes)
         if self.faults is not None and self.faults.active:
@@ -61,5 +72,6 @@ class PcieBus:
         return end
 
     def reset(self) -> None:
-        """Clear bus occupancy (used when a context resets its clocks)."""
+        """Clear bus occupancy and lane teardowns (context clock reset)."""
         self.busy_until = 0.0
+        self.deactivated.clear()

@@ -44,7 +44,9 @@ PCIE_LANE = "pcie"
 #: Lane name used for injected/detected/recovered fault events (see
 #: :mod:`repro.faults`): ``kind`` is ``"fault"`` | ``"detect"`` |
 #: ``"recover"``, so Chrome/Perfetto exports show faults in timeline
-#: context next to the kernels and transfers they hit.
+#: context next to the kernels and transfers they hit.  Degraded-mode
+#: events (:mod:`repro.core.degrade`) share the lane with ``kind``
+#: ``"degraded"`` | ``"repartition"`` | ``"deadline-exceeded"``.
 FAULT_LANE = "faults"
 
 

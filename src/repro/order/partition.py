@@ -77,11 +77,22 @@ class Partition:
 
 
 def block_row_partition(n_rows: int, n_parts: int) -> Partition:
-    """Equal contiguous slabs of rows: the natural/RCM distribution."""
+    """Equal contiguous slabs of rows: the natural/RCM distribution.
+
+    Every part is guaranteed non-empty, so ``n_parts`` must not exceed
+    ``n_rows`` — an empty slab would give a device no rows to own, which
+    the distributed kernels (and the degraded-mode repartitioner) cannot
+    represent.
+    """
     if n_parts <= 0:
         raise ValueError("n_parts must be positive")
     if n_rows < 0:
         raise ValueError("n_rows must be non-negative")
+    if n_parts > n_rows:
+        raise ValueError(
+            f"cannot split {n_rows} rows into {n_parts} non-empty parts; "
+            f"use at most n_parts={n_rows}"
+        )
     bounds = np.linspace(0, n_rows, n_parts + 1).astype(np.int64)
     assignment = np.empty(n_rows, dtype=np.int64)
     for part in range(n_parts):
@@ -93,10 +104,19 @@ def partition_matrix(matrix: CsrMatrix, partition: Partition):
     """Split a square matrix into per-part local row blocks.
 
     Returns a list of ``(rows, local_matrix)`` pairs where ``local_matrix``
-    is ``A(rows, :)`` — the paper's :math:`A^{(d)}`.
+    is ``A(rows, :)`` — the paper's :math:`A^{(d)}`.  Every part must own
+    at least one row: a device with an empty local block cannot take part
+    in the paper's collectives (its SpMV partial, norm contribution, and
+    halo exchange would all be zero-sized).
     """
     if matrix.n_rows != partition.n_rows:
         raise ValueError("matrix and partition sizes disagree")
+    empty = [p for p in range(partition.n_parts) if partition.rows_of(p).size == 0]
+    if empty:
+        raise ValueError(
+            f"partition assigns no rows to part(s) {empty}; every part "
+            "must own at least one row"
+        )
     return [
         (partition.rows_of(part), matrix.extract_rows(partition.rows_of(part)))
         for part in range(partition.n_parts)

@@ -1,0 +1,129 @@
+"""Repartition equivalence for degraded-mode recovery.
+
+The degrade path (`repro.core.degrade`) rebuilds the distributed state on
+the surviving devices of a *shrunken* context.  These tests pin the key
+invariant that makes that sound: a ``DistributedMatrix`` (and MPK plan)
+built over ``k`` survivors of a degraded context produces **bit-identical**
+SpMV / matrix-powers values to a fresh ``k``-device build — the numerics
+are a pure function of the partition, not of which physical devices host
+the parts.
+"""
+
+import numpy as np
+import pytest
+
+from repro.dist.matrix import DistributedMatrix
+from repro.dist.multivector import DistMultiVector
+from repro.gpu.context import MultiGpuContext
+from repro.matrices.stencil import poisson2d
+from repro.mpk.matrix_powers import MatrixPowersKernel
+from repro.mpk.shifts import monomial_shift_ops, newton_shift_ops
+from repro.order.partition import block_row_partition
+
+
+def degraded_context(n_start: int, survivors: int) -> MultiGpuContext:
+    """A context built with ``n_start`` GPUs and shrunk to ``survivors``.
+
+    Deactivates from the middle outward (gpu1 first), the interesting case
+    for repartitioning: the survivors are not a contiguous prefix.
+    """
+    ctx = MultiGpuContext(n_start)
+    order = [1, 2, 0]  # drop gpu1 first, then gpu2, never all
+    for name in order[: n_start - survivors]:
+        ctx.deactivate_device(name)
+    assert ctx.n_gpus == survivors
+    return ctx
+
+
+def _shift_sets(s):
+    return {
+        "monomial": monomial_shift_ops(s),
+        "newton": newton_shift_ops(
+            np.array([4.0, 2.0 + 1.0j, 2.0 - 1.0j, 6.0]), s
+        ),
+    }
+
+
+class TestSpmvEquivalence:
+    @pytest.mark.parametrize("survivors", [1, 2, 3])
+    def test_bit_identical_to_fresh_build(self, survivors, rng):
+        A = poisson2d(9)
+        v = rng.standard_normal(A.n_rows)
+        part = block_row_partition(A.n_rows, survivors)
+
+        results = []
+        for ctx in (degraded_context(3, survivors), MultiGpuContext(survivors)):
+            dmat = DistributedMatrix(ctx, A, part)
+            V = DistMultiVector(ctx, part, 2)
+            V.set_column_from_host(0, v)
+            dmat.spmv(V, 0, V, 1)
+            results.append(V.gather_column_to_host(1))
+        np.testing.assert_array_equal(results[0], results[1])
+
+    def test_spmv_matches_host_matvec(self, rng):
+        A = poisson2d(9)
+        v = rng.standard_normal(A.n_rows)
+        ctx = degraded_context(3, 2)
+        part = block_row_partition(A.n_rows, 2)
+        dmat = DistributedMatrix(ctx, A, part)
+        V = DistMultiVector(ctx, part, 2)
+        V.set_column_from_host(0, v)
+        dmat.spmv(V, 0, V, 1)
+        np.testing.assert_allclose(
+            V.gather_column_to_host(1), A.matvec(v), rtol=1e-13, atol=1e-13
+        )
+
+
+class TestMpkEquivalence:
+    @pytest.mark.parametrize("survivors", [1, 2, 3])
+    @pytest.mark.parametrize("basis", ["monomial", "newton"])
+    def test_bit_identical_to_fresh_build(self, survivors, basis, rng):
+        A = poisson2d(9)
+        s = 4
+        v = rng.standard_normal(A.n_rows)
+        part = block_row_partition(A.n_rows, survivors)
+        ops = _shift_sets(s)[basis]
+
+        results = []
+        for ctx in (degraded_context(3, survivors), MultiGpuContext(survivors)):
+            mpk = MatrixPowersKernel(ctx, A, part, s)
+            V = DistMultiVector(ctx, part, s + 1)
+            V.set_column_from_host(0, v)
+            mpk.run(V, 0, ops)
+            results.append(
+                np.stack([V.gather_column_to_host(k) for k in range(s + 1)])
+            )
+        np.testing.assert_array_equal(results[0], results[1])
+
+
+class TestDeactivatedDeviceIsFenced:
+    def test_transfers_to_lost_device_raise(self):
+        from repro.faults.errors import DeviceLost
+
+        ctx = MultiGpuContext(3)
+        lost = ctx.deactivate_device("gpu1")
+        with pytest.raises(DeviceLost):
+            ctx.h2d(lost, np.ones(4))
+
+    def test_deactivation_bookkeeping(self):
+        ctx = MultiGpuContext(3)
+        ctx.deactivate_device(1)
+        assert ctx.n_gpus == 2
+        assert ctx.inactive_devices == ["gpu1"]
+        assert ctx.counters.device_deactivations == 1
+        assert [d.name for d in ctx.devices] == ["gpu0", "gpu2"]
+
+    def test_last_device_refused(self):
+        ctx = MultiGpuContext(2)
+        ctx.deactivate_device(0)
+        with pytest.raises(ValueError, match="last active device"):
+            ctx.deactivate_device(1)
+
+    def test_reset_clocks_restores_roster(self):
+        ctx = MultiGpuContext(3)
+        ctx.deactivate_device("gpu2")
+        ctx.reset_clocks()
+        assert ctx.n_gpus == 3
+        assert ctx.inactive_devices == []
+        # Lanes are restored too: transfers to the device work again.
+        ctx.h2d(ctx.devices[2], np.ones(4))

@@ -56,3 +56,58 @@ class TestCampaignTables:
         assert "Injected by kind" in text
         assert "Recoveries by action" in text
         assert "totals:" in text
+
+    def test_default_table_has_no_degrade_columns(self, small_campaign):
+        text = campaign_tables(small_campaign)
+        assert "| rep |" not in text and "repartition(s)" not in text
+
+
+DEGRADE = dict(
+    nx=16, m=12, s=4, tol=1e-6, max_restarts=40, trials=2, n_gpus=3,
+    rate=2e-3, kinds=("corrupt", "poison", "stall", "dropout"),
+)
+
+
+class TestDegradedCampaign:
+    @pytest.fixture(scope="class")
+    def degraded_campaign(self):
+        return run_campaign(seed=0, degrade=True, deadline=1.0, **DEGRADE)
+
+    def test_dropouts_absorbed(self, degraded_campaign):
+        t = degraded_campaign["totals"]
+        assert t["repartitions"] >= 1
+        assert t["converged_trials"] == DEGRADE["trials"]
+        assert t["aborted_trials"] == 0
+        assert t["deadline_exceeded_trials"] == 0
+        lossy = [
+            r for r in degraded_campaign["trials"] if r["repartitions"]
+        ]
+        assert lossy and all(
+            r["final_devices"] == DEGRADE["n_gpus"] - len(r["lost_devices"])
+            for r in lossy
+        )
+
+    def test_deterministic(self, degraded_campaign):
+        again = run_campaign(seed=0, degrade=True, deadline=1.0, **DEGRADE)
+        assert again == degraded_campaign
+
+    def test_without_degrade_same_plan_aborts(self, degraded_campaign):
+        plain = run_campaign(seed=0, **DEGRADE)
+        # Same seeds, so each trial replays the same fault stream — but the
+        # plain run dies at the first dropout, injecting only a prefix of
+        # what the degraded run survives through.
+        for p, d in zip(plain["trials"], degraded_campaign["trials"]):
+            assert p["schedule"] == d["schedule"][: len(p["schedule"])]
+        assert plain["totals"]["aborted_trials"] >= 1
+        assert plain["totals"]["repartitions"] == 0
+
+    def test_degrade_tables_have_columns(self, degraded_campaign):
+        text = campaign_tables(degraded_campaign)
+        assert "| rep | dev | ddl" in text
+        assert "repartition(s)" in text
+
+    def test_trial_deadline_trips(self):
+        rec = run_trial(
+            nx=16, m=12, s=4, rate=0.0, max_restarts=40, deadline=1e-9
+        )
+        assert rec["deadline_exceeded"] and not rec["converged"]

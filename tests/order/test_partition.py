@@ -64,9 +64,13 @@ class TestBlockRowPartition:
         p = block_row_partition(7, 1)
         assert np.all(p.assignment == 0)
 
-    def test_more_parts_than_rows(self):
-        p = block_row_partition(2, 4)
-        assert p.part_sizes().sum() == 2
+    def test_more_parts_than_rows_rejected(self):
+        with pytest.raises(ValueError, match="non-empty"):
+            block_row_partition(2, 4)
+
+    def test_parts_equal_rows(self):
+        p = block_row_partition(4, 4)
+        assert p.part_sizes().tolist() == [1, 1, 1, 1]
 
     def test_invalid_args(self):
         with pytest.raises(ValueError):
@@ -88,6 +92,17 @@ class TestPartitionMatrix:
         A = poisson2d(3)
         with pytest.raises(ValueError):
             partition_matrix(A, block_row_partition(5, 2))
+
+    def test_empty_part_rejected(self):
+        from repro.order.partition import Partition
+
+        A = poisson2d(3)
+        # Hand-built partition where part 1 owns no rows.
+        assignment = np.zeros(A.n_rows, dtype=np.int64)
+        assignment[-1] = 2
+        degenerate = Partition(assignment, 3)
+        with pytest.raises(ValueError, match="no rows"):
+            partition_matrix(A, degenerate)
 
 
 class TestEdgeCut:

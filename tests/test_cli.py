@@ -75,6 +75,19 @@ class TestCli:
         assert "Recoveries by action" in out
         assert "totals:" in out
 
+    def test_faults_degrade_campaign(self, capsys):
+        code = main(
+            ["faults", "--nx", "16", "--m", "12", "--s", "4",
+             "--max-restarts", "40", "--trials", "2", "--rate", "2e-3",
+             "--gpus", "3", "--kinds", "corrupt,poison,stall,dropout",
+             "--degrade", "--deadline", "1.0"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        # The degraded-mode columns and totals appear.
+        assert "| rep | dev | ddl" in out
+        assert "repartition(s)" in out
+
     def test_faults_writes_json(self, tmp_path, capsys):
         import json
 
