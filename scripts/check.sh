@@ -1,7 +1,7 @@
 #!/usr/bin/env bash
 # Repo check: lint (when ruff is available) + tier-1 test suite.
 #
-# Usage: scripts/check.sh [--faults] [--degrade] [extra pytest args...]
+# Usage: scripts/check.sh [--faults] [--degrade] [--serve] [extra pytest args...]
 #
 #   --faults    additionally run a small fault-injection smoke campaign
 #               (python -m repro faults) after the test suite.
@@ -9,16 +9,22 @@
 #               dropouts are injected and absorbed by repartitioning the
 #               solve over the surviving GPUs (python -m repro faults
 #               --degrade), with a simulated-time deadline armed.
+#   --serve     additionally run a serving smoke: the plan-reuse CLI
+#               (python -m repro serve, exits nonzero unless warm solves
+#               are bit-identical to cold) plus a session-mode fault
+#               campaign sharing one structural plan across trials.
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
 
 run_faults_smoke=0
 run_degrade_smoke=0
-while [[ "${1:-}" == "--faults" || "${1:-}" == "--degrade" ]]; do
+run_serve_smoke=0
+while [[ "${1:-}" == "--faults" || "${1:-}" == "--degrade" || "${1:-}" == "--serve" ]]; do
     case "$1" in
         --faults)  run_faults_smoke=1 ;;
         --degrade) run_degrade_smoke=1 ;;
+        --serve)   run_serve_smoke=1 ;;
     esac
     shift
 done
@@ -47,4 +53,15 @@ if [[ "$run_degrade_smoke" == 1 ]]; then
     PYTHONPATH=src python -m repro faults \
         --nx 16 --m 12 --s 4 --max-restarts 40 --trials 2 --rate 2e-3 \
         --gpus 3 --kinds corrupt,poison,stall,dropout --degrade --deadline 1.0
+fi
+
+if [[ "$run_serve_smoke" == 1 ]]; then
+    echo "== serving smoke (plan reuse, bit-identity enforced) =="
+    PYTHONPATH=src python -m repro serve \
+        --matrix poisson2d --nx 24 --gpus 2 --ordering kway \
+        --s 4 --m 12 --basis monomial --rhs 3
+    echo "== session-mode fault campaign (one plan, all trials) =="
+    PYTHONPATH=src python -m repro faults \
+        --nx 16 --m 12 --s 4 --max-restarts 40 --trials 2 --rate 1e-3 \
+        --session
 fi

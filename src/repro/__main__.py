@@ -28,7 +28,7 @@ def _cmd_list(_args) -> int:
     print("experiments:")
     for name, doc in sorted(_EXPERIMENTS.items()):
         print(f"  {name:8s} {doc}")
-    print("\nother commands: solve, suite, trace, faults")
+    print("\nother commands: solve, suite, trace, faults, serve")
     return 0
 
 
@@ -279,7 +279,7 @@ def _cmd_faults(args) -> int:
         trials=args.trials, s=args.s, m=args.m, tol=args.tol,
         max_restarts=args.max_restarts, stall_factor=args.stall_factor,
         max_faults=args.max_faults, degrade=args.degrade,
-        deadline=args.deadline,
+        deadline=args.deadline, session=args.session,
     )
     print(campaign_tables(campaign))
     if args.out:
@@ -294,6 +294,83 @@ def _cmd_faults(args) -> int:
     # reported as such — aborted trials are a *successful* structured
     # outcome, so the exit code reflects crashes alone (exceptions).
     return 0
+
+
+def _cmd_serve(args) -> int:
+    """Stand up a solver session and serve repeated / batched solves."""
+    import time
+
+    from repro.harness import format_table
+    from repro.matrices.stencil import (
+        convection_diffusion2d,
+        poisson2d,
+        poisson3d,
+    )
+    from repro.serve import SolverSession
+
+    builders = {
+        "poisson2d": poisson2d,
+        "poisson3d": poisson3d,
+        "convdiff2d": convection_diffusion2d,
+    }
+    A = builders[args.matrix](args.nx)
+    rng = np.random.default_rng(args.seed)
+    bs = [rng.standard_normal(A.n_rows) for _ in range(max(args.rhs, 1))]
+
+    kwargs = dict(
+        n_gpus=args.gpus, ordering=args.ordering, m=args.m,
+        tol=args.tol, max_restarts=args.max_restarts,
+    )
+    if args.solver == "ca":
+        kwargs.update(s=args.s, basis=args.basis)
+    session = SolverSession(A, solver=args.solver, **kwargs)
+
+    rows = []
+    t0 = time.perf_counter()
+    cold = session.solve(bs[0])
+    t_cold = time.perf_counter() - t0
+    rows.append(["cold solve", f"{1e3 * t_cold:.1f}",
+                 f"{1e3 * cold.total_time:.2f}", cold.n_iterations,
+                 "yes" if cold.converged else "no"])
+    t0 = time.perf_counter()
+    warm = session.solve(bs[0])
+    t_warm = time.perf_counter() - t0
+    rows.append(["warm solve", f"{1e3 * t_warm:.1f}",
+                 f"{1e3 * warm.total_time:.2f}", warm.n_iterations,
+                 "yes" if warm.converged else "no"])
+    if len(bs) > 1:
+        t0 = time.perf_counter()
+        batch = session.solve_many(bs)
+        t_batch = time.perf_counter() - t0
+        rows.append([
+            f"solve_many x{len(bs)}", f"{1e3 * t_batch:.1f}",
+            f"{1e3 * batch[-1].total_time:.2f}",
+            sum(r.n_iterations for r in batch),
+            f"{sum(r.converged for r in batch)}/{len(bs)}",
+        ])
+    print(format_table(
+        ["request", "wall ms", "sim ms", "iters", "conv"], rows,
+        title=(
+            f"Serving — {args.solver} on {args.gpus} simulated GPU(s), "
+            f"{args.matrix} nx={args.nx} (n={A.n_rows}), "
+            f"ordering={args.ordering}"
+        ),
+    ))
+    stats = session.stats()
+    identical = bool(np.array_equal(cold.x, warm.x))
+    print(
+        f"\nplan cache : {stats['structural_plans']} structural / "
+        f"{stats['host_plans']} host plan(s); "
+        f"{stats['plan_hits']} hit(s), {stats['plan_misses']} miss(es), "
+        f"{stats['invalidations']} invalidation(s) over "
+        f"{stats['n_solves']} solve(s)"
+    )
+    print(f"fingerprint: pattern {session.fingerprint.pattern[:16]}…, "
+          f"roster {'+'.join(session.fingerprint.roster)}")
+    print(f"warm == cold (bit-identical): {identical}")
+    speedup = t_cold / t_warm if t_warm > 0 else float("inf")
+    print(f"plan reuse : warm solve {speedup:.1f}x faster (wall-clock)")
+    return 0 if identical else 1
 
 
 _EXPERIMENTS = {
@@ -313,6 +390,7 @@ _HANDLERS = {
     "solve": _cmd_solve,
     "trace": _cmd_trace,
     "faults": _cmd_faults,
+    "serve": _cmd_serve,
 }
 
 
@@ -385,6 +463,31 @@ def main(argv: list[str] | None = None) -> int:
                         "solve stops at the first restart boundary past it")
     p.add_argument("--out", default=None,
                    help="also write the campaign JSON to this directory")
+    p.add_argument("--session", action="store_true",
+                   help="share one solver session (cached structural plan) "
+                        "across all trials, re-arming the fault plan per "
+                        "trial; records are byte-identical either way")
+    p = sub.add_parser(
+        "serve",
+        help="stand up a solver session: plan once, then serve repeated "
+             "and batched solves against the same matrix",
+    )
+    p.add_argument("--matrix", default="poisson2d",
+                   choices=["poisson2d", "poisson3d", "convdiff2d"])
+    p.add_argument("--nx", type=int, default=30,
+                   help="stencil grid dimension (n = nx^2 or nx^3)")
+    p.add_argument("--solver", default="ca", choices=["ca", "gmres"])
+    p.add_argument("--gpus", type=int, default=2)
+    p.add_argument("--ordering", default="natural",
+                   choices=["natural", "rcm", "kway"])
+    p.add_argument("--s", type=int, default=5)
+    p.add_argument("--m", type=int, default=20)
+    p.add_argument("--basis", default="newton", choices=["newton", "monomial"])
+    p.add_argument("--tol", type=float, default=1e-6)
+    p.add_argument("--max-restarts", type=int, default=40)
+    p.add_argument("--rhs", type=int, default=4,
+                   help="right-hand sides for the batched solve_many demo")
+    p.add_argument("--seed", type=int, default=0, help="RHS generator seed")
     args = parser.parse_args(argv)
     return _HANDLERS[args.command](args)
 

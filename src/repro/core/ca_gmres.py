@@ -76,7 +76,310 @@ from .resilience import (
     run_cycle_resilient,
 )
 
-__all__ = ["ca_gmres"]
+__all__ = ["ca_gmres", "CaGmresRun"]
+
+
+class CaGmresRun:
+    """One CA-GMRES(s, m) solve as a resumable object.
+
+    The historical :func:`ca_gmres` driver is ``CaGmresRun(...).result()``.
+    The object form exists for the serving layer (:mod:`repro.serve`):
+    :meth:`step` advances the solve by exactly one restart cycle, so a
+    batched frontend can interleave the restart cycles of many right-hand
+    sides on one context, and a prebuilt structural ``plan`` (see
+    :class:`repro.serve.plan.StructuralPlan`) lets repeated solves against
+    the same matrix reuse the ordering, partition, distributed matrix, MPK
+    dependency closure, and exchange index sets instead of recomputing them
+    per solve.  Numerics are unaffected: a plan-driven solve is
+    bit-identical to a cold one.
+    """
+
+    def __init__(
+        self,
+        matrix: CsrMatrix,
+        b: np.ndarray,
+        ctx: MultiGpuContext | None = None,
+        n_gpus: int = 1,
+        partition: Partition | None = None,
+        s: int = 15,
+        m: int = 60,
+        basis: str = "newton",
+        tsqr_method: str = "cholqr",
+        tsqr_variant: str | None = None,
+        borth_method: str = "cgs",
+        reorth: int = 1,
+        use_mpk: bool = True,
+        tol: float = 1e-4,
+        max_restarts: int = 500,
+        balance: bool = True,
+        x0: np.ndarray | None = None,
+        on_breakdown: str = "fallback",
+        collect_tsqr_errors: bool = False,
+        adaptive_s: bool = False,
+        preconditioner=None,
+        max_panel_retries: int = MAX_PANEL_RETRIES,
+        degrade: DegradePolicy | None = None,
+        deadline: float | None = None,
+        plan=None,
+    ):
+        if matrix.n_rows != matrix.n_cols:
+            raise ValueError("ca_gmres requires a square matrix")
+        n = matrix.n_rows
+        b = np.asarray(b, dtype=np.float64)
+        if b.shape != (n,):
+            raise ValueError(f"b must have shape ({n},), got {b.shape}")
+        if b.size and not np.all(np.isfinite(b)):
+            raise ValueError("b contains non-finite entries")
+        if not 1 <= s <= m:
+            raise ValueError(f"need 1 <= s <= m, got s={s}, m={m}")
+        if m > n:
+            raise ValueError(f"restart length m={m} exceeds problem size {n}")
+        if basis not in ("newton", "monomial"):
+            raise ValueError(f"unknown basis {basis!r}")
+        if on_breakdown not in ("fallback", "raise"):
+            raise ValueError(f"unknown on_breakdown {on_breakdown!r}")
+        if ctx is None:
+            ctx = MultiGpuContext(n_gpus)
+        elif ctx.inactive_devices:
+            # A previous degraded solve left the roster shrunken; restore the
+            # full device set (and pristine fault state) before partitioning.
+            ctx.reset_clocks()
+        self.ctx = ctx
+        self.plan = plan
+        self.s = int(s)
+        self.m = int(m)
+        self.basis = basis
+        self.tsqr_method = tsqr_method
+        self.tsqr_variant = tsqr_variant
+        self.borth_method = borth_method
+        self.reorth = reorth
+        self.use_mpk = use_mpk
+        self.max_restarts = int(max_restarts)
+        self.on_breakdown = on_breakdown
+        self.collect_tsqr_errors = collect_tsqr_errors
+        self.max_panel_retries = max_panel_retries
+        self._mpk_lengths = sorted({self.s, self.m % self.s} - {0})
+
+        if plan is not None:
+            if partition is not None:
+                raise ValueError("pass either plan= or partition=, not both")
+            if plan.V.n_cols != m + 1:
+                raise ValueError(
+                    f"plan was built for m={plan.V.n_cols - 1}, solve requested m={m}"
+                )
+            partition = plan.partition
+            if partition.n_parts != ctx.n_gpus:
+                raise ValueError("plan partition does not match the active roster")
+            preconditioner = plan.preconditioner
+            bal = plan.bal
+            A_solve = plan.operator
+        else:
+            if partition is None:
+                partition = block_row_partition(n, ctx.n_gpus)
+            A_pre = preconditioner.fold(matrix) if preconditioner is not None else matrix
+            bal = balance_matrix(A_pre) if balance else None
+            A_solve = bal.matrix if bal is not None else A_pre
+        b_solve = bal.scale_rhs(b) if bal is not None else b
+        self.preconditioner = preconditioner
+        self.bal = bal
+        self.A_solve = A_solve
+        self.b_solve = b_solve
+
+        # Mutable solver state: the cycle closures and the degraded-mode
+        # rebuild both go through it, so a repartition swaps every
+        # distributed object at once and replayed cycles pick up the
+        # rebuilt versions.  ``st.mpk`` maps block length -> kernel; it is
+        # the plan's (shared, persistent) dict on warm runs.
+        self.st = st = SimpleNamespace(
+            partition=partition,
+            dmat=plan.dmat if plan is not None else DistributedMatrix(ctx, A_solve, partition),
+            V=plan.V if plan is not None else DistMultiVector(ctx, partition, m + 1),
+            x=DistVector(ctx, partition),
+            b=DistVector.from_host(ctx, partition, b_solve),
+            mpk=plan.mpk if plan is not None else {},
+        )
+        if x0 is not None:
+            if preconditioner is not None:
+                raise ValueError("x0 with a preconditioner is not supported")
+            start = (x0 / bal.col_scale) if bal is not None else x0
+            st.x.set_from_host(np.asarray(start, dtype=np.float64))
+
+        if use_mpk:
+            for length in self._mpk_lengths:
+                self._get_mpk(length)
+
+        ctx.reset_clocks()
+        ctx.counters.reset()
+
+        self.degrader = None
+        if degrade is not None or deadline is not None:
+            self.degrader = DegradationManager(
+                ctx, A_solve, self._rebuild, policy=degrade, deadline=deadline
+            )
+
+        history = ConvergenceHistory()
+        r0 = b_solve - A_solve.matvec(gathered_solution(st.x))
+        history.initial_residual = float(np.linalg.norm(r0))
+        self.history = history
+        self.shifts: np.ndarray | None = None
+        self.converged = False
+        self.restarts = 0
+        self.iterations = 0
+        self.breakdowns = 0
+        self.tsqr_errors: list[dict] = []
+        self.unrecovered: list[dict] = []
+        self.adapt_state = {"s_eff": s, "history": []} if adaptive_s else None
+        self.abs_tol = tol * history.initial_residual
+        # Already at (numerical) convergence: a relative criterion on a zero
+        # residual would be meaningless.  The documented details keys must be
+        # present on this path too, or collect_tsqr_errors / adaptive_s
+        # callers hit KeyError on an already-converged right-hand side.
+        floor = 100.0 * np.finfo(np.float64).eps * float(np.linalg.norm(b_solve))
+        if history.initial_residual <= floor:
+            self.converged = True
+            self._gen = None
+        else:
+            self._gen = self._cycle_iter()
+        self._result: SolveResult | None = None
+
+    # ------------------------------------------------------------------
+    def _get_mpk(self, length: int) -> MatrixPowersKernel:
+        """Matrix powers kernel for one block length (cached per partition)."""
+        mpk = self.st.mpk
+        if length not in mpk:
+            mpk[length] = MatrixPowersKernel(
+                self.ctx, self.A_solve, self.st.partition, length
+            )
+        return mpk[length]
+
+    def _rebuild(self, new_partition, x_host):
+        """Degraded-mode rebuild of the distributed state over survivors.
+
+        MPK plans are invalidated — the halo/ghost structure is
+        partition-specific.  With a structural plan attached, the rebuild
+        is routed through the plan cache instead (the dead roster's
+        entries are invalidated; the survivor roster's entries are built
+        or reused).
+        """
+        ctx, st = self.ctx, self.st
+        st.partition = new_partition
+        if self.plan is not None:
+            sub = self.plan.derive(
+                new_partition,
+                mpk_lengths=self._mpk_lengths if self.use_mpk else (),
+            )
+            st.dmat = sub.dmat
+            st.V = sub.V
+            st.mpk = sub.mpk
+            st.b = DistVector.from_host(ctx, new_partition, self.b_solve)
+            st.x = DistVector.from_host(ctx, new_partition, x_host)
+            return st.x
+        st.dmat = DistributedMatrix(ctx, self.A_solve, new_partition)
+        st.V = DistMultiVector(ctx, new_partition, self.m + 1)
+        st.b = DistVector.from_host(ctx, new_partition, self.b_solve)
+        st.x = DistVector.from_host(ctx, new_partition, x_host)
+        st.mpk = {}
+        if self.use_mpk:
+            for length in self._mpk_lengths:
+                self._get_mpk(length)
+        return st.x
+
+    @property
+    def finished(self) -> bool:
+        """True once the restart loop has terminated."""
+        return self._gen is None
+
+    def step(self) -> bool:
+        """Advance by one restart cycle; False once the solve is finished."""
+        if self._gen is None:
+            return False
+        try:
+            next(self._gen)
+        except StopIteration:
+            self._gen = None
+            return False
+        return True
+
+    def _cycle_iter(self):
+        ctx, st = self.ctx, self.st
+        for _ in range(self.max_restarts):
+            if self.degrader is not None and self.degrader.deadline_reached():
+                return
+            ctx.mark_cycle()
+            if self.basis == "newton" and self.shifts is None:
+                # Shift-seeding cycle: standard GMRES, Ritz values from its H.
+                def cycle(offset=self.iterations):
+                    info = run_gmres_cycle(
+                        ctx, st.dmat, st.V, st.x, st.b, self.m, self.abs_tol,
+                        history=self.history, iteration_offset=offset,
+                    )
+                    return info, checked_true_residual(
+                        ctx, self.A_solve, self.b_solve, st.x
+                    )
+
+                outcome, aborted = run_cycle_resilient(
+                    ctx, cycle, st.x, self.history, self.unrecovered,
+                    degrader=self.degrader,
+                )
+                if aborted:
+                    return
+                info, true_res = outcome
+                if info.iterations > 0:
+                    square = info.hessenberg[: info.iterations, : info.iterations]
+                    ctx.host.charge_small_dense("eig", info.iterations)
+                    self.shifts = ritz_values(square)
+                else:
+                    self.shifts = np.empty(0, dtype=np.complex128)
+                self.restarts += 1
+                self.iterations += info.iterations
+            else:
+                def cycle(offset=self.iterations, restart_index=self.restarts):
+                    result = _ca_cycle(
+                        ctx, st.dmat, st.V, st.x, st.b, self.s, self.m,
+                        self.basis, self.shifts, self.tsqr_method,
+                        self.tsqr_variant, self.borth_method, self.reorth,
+                        self.use_mpk, self._get_mpk, self.abs_tol,
+                        self.history, offset, self.on_breakdown,
+                        self.collect_tsqr_errors, self.tsqr_errors,
+                        restart_index, self.adapt_state,
+                        self.max_panel_retries,
+                    )
+                    return result, checked_true_residual(
+                        ctx, self.A_solve, self.b_solve, st.x
+                    )
+
+                outcome, aborted = run_cycle_resilient(
+                    ctx, cycle, st.x, self.history, self.unrecovered,
+                    degrader=self.degrader,
+                )
+                if aborted:
+                    return
+                (cycle_iters, cycle_breakdowns), true_res = outcome
+                self.restarts += 1
+                self.iterations += cycle_iters
+                self.breakdowns += cycle_breakdowns
+            self.history.record_true(self.iterations, true_res)
+            if true_res <= self.abs_tol:
+                self.converged = True
+                return
+            yield
+
+    def result(self) -> SolveResult:
+        """Run any remaining cycles and return the (cached) final result."""
+        while self.step():
+            pass
+        if self._result is None:
+            details: dict = {}
+            if self.collect_tsqr_errors:
+                details["tsqr_errors"] = self.tsqr_errors
+            if self.adapt_state is not None:
+                details["s_history"] = self.adapt_state["history"]
+            self._result = _finish(
+                self.ctx, self.st.x, self.bal, self.converged, self.restarts,
+                self.iterations, self.history, self.breakdowns, details,
+                self.preconditioner, self.unrecovered, degrader=self.degrader,
+            )
+        return self._result
 
 
 def ca_gmres(
@@ -104,6 +407,7 @@ def ca_gmres(
     max_panel_retries: int = MAX_PANEL_RETRIES,
     degrade: DegradePolicy | None = None,
     deadline: float | None = None,
+    plan=None,
 ) -> SolveResult:
     """Solve ``A x = b`` with CA-GMRES(s, m) on simulated GPUs.
 
@@ -161,180 +465,27 @@ def ca_gmres(
         Optional simulated-time budget in seconds; the solve stops at the
         first restart boundary past it (``details["degradation"]``
         records the trip).
+    plan
+        Optional prebuilt :class:`repro.serve.plan.StructuralPlan` for this
+        matrix/context: ordering, partition, distributed matrix, MPK
+        dependency closure, and staged-exchange index sets are reused
+        instead of recomputed.  Mutually exclusive with ``partition``;
+        ``balance`` and ``preconditioner`` are taken from the plan.
 
     Returns
     -------
     SolveResult
     """
-    if matrix.n_rows != matrix.n_cols:
-        raise ValueError("ca_gmres requires a square matrix")
-    n = matrix.n_rows
-    b = np.asarray(b, dtype=np.float64)
-    if b.shape != (n,):
-        raise ValueError(f"b must have shape ({n},), got {b.shape}")
-    if b.size and not np.all(np.isfinite(b)):
-        raise ValueError("b contains non-finite entries")
-    if not 1 <= s <= m:
-        raise ValueError(f"need 1 <= s <= m, got s={s}, m={m}")
-    if m > n:
-        raise ValueError(f"restart length m={m} exceeds problem size {n}")
-    if basis not in ("newton", "monomial"):
-        raise ValueError(f"unknown basis {basis!r}")
-    if on_breakdown not in ("fallback", "raise"):
-        raise ValueError(f"unknown on_breakdown {on_breakdown!r}")
-    if ctx is None:
-        ctx = MultiGpuContext(n_gpus)
-    elif ctx.inactive_devices:
-        # A previous degraded solve left the roster shrunken; restore the
-        # full device set (and pristine fault state) before partitioning.
-        ctx.reset_clocks()
-    if partition is None:
-        partition = block_row_partition(n, ctx.n_gpus)
-
-    A_pre = preconditioner.fold(matrix) if preconditioner is not None else matrix
-    bal = balance_matrix(A_pre) if balance else None
-    A_solve = bal.matrix if bal is not None else A_pre
-    b_solve = bal.scale_rhs(b) if bal is not None else b
-
-    # Mutable solver state: the cycle closures and the degraded-mode
-    # rebuild both go through it, so a repartition swaps every distributed
-    # object at once and replayed cycles pick up the rebuilt versions.
-    st = SimpleNamespace(
-        partition=partition,
-        dmat=DistributedMatrix(ctx, A_solve, partition),
-        V=DistMultiVector(ctx, partition, m + 1),
-        x=DistVector(ctx, partition),
-        b=DistVector.from_host(ctx, partition, b_solve),
-    )
-    if x0 is not None:
-        if preconditioner is not None:
-            raise ValueError("x0 with a preconditioner is not supported")
-        start = (x0 / bal.col_scale) if bal is not None else x0
-        st.x.set_from_host(np.asarray(start, dtype=np.float64))
-
-    # Matrix powers kernels, one per distinct block length (invalidated on
-    # repartition — the halo/ghost structure is partition-specific).
-    mpk_cache: dict[int, MatrixPowersKernel] = {}
-
-    def get_mpk(length: int) -> MatrixPowersKernel:
-        if length not in mpk_cache:
-            mpk_cache[length] = MatrixPowersKernel(
-                ctx, A_solve, st.partition, length
-            )
-        return mpk_cache[length]
-
-    if use_mpk:
-        for length in {s, m % s} - {0}:
-            get_mpk(length)
-
-    ctx.reset_clocks()
-    ctx.counters.reset()
-
-    def rebuild(new_partition, x_host):
-        st.partition = new_partition
-        st.dmat = DistributedMatrix(ctx, A_solve, new_partition)
-        st.V = DistMultiVector(ctx, new_partition, m + 1)
-        st.b = DistVector.from_host(ctx, new_partition, b_solve)
-        st.x = DistVector.from_host(ctx, new_partition, x_host)
-        mpk_cache.clear()
-        if use_mpk:
-            for length in {s, m % s} - {0}:
-                get_mpk(length)
-        return st.x
-
-    degrader = None
-    if degrade is not None or deadline is not None:
-        degrader = DegradationManager(
-            ctx, A_solve, rebuild, policy=degrade, deadline=deadline
-        )
-
-    history = ConvergenceHistory()
-    r0 = b_solve - A_solve.matvec(gathered_solution(st.x))
-    history.initial_residual = float(np.linalg.norm(r0))
-    # Already at (numerical) convergence: a relative criterion on a zero
-    # residual would be meaningless.  The documented details keys must be
-    # present on this path too, or collect_tsqr_errors / adaptive_s callers
-    # hit KeyError on an already-converged right-hand side.
-    floor = 100.0 * np.finfo(np.float64).eps * float(np.linalg.norm(b_solve))
-    if history.initial_residual <= floor:
-        early: dict = {}
-        if collect_tsqr_errors:
-            early["tsqr_errors"] = []
-        if adaptive_s:
-            early["s_history"] = []
-        return _finish(ctx, st.x, bal, True, 0, 0, history, 0, early,
-                       preconditioner, degrader=degrader)
-    abs_tol = tol * history.initial_residual
-
-    shifts: np.ndarray | None = None
-    converged = False
-    restarts = 0
-    iterations = 0
-    breakdowns = 0
-    tsqr_errors: list[dict] = []
-    unrecovered: list[dict] = []
-    adapt_state = {"s_eff": s, "history": []} if adaptive_s else None
-
-    for _ in range(max_restarts):
-        if degrader is not None and degrader.deadline_reached():
-            break
-        ctx.mark_cycle()
-        if basis == "newton" and shifts is None:
-            # Shift-seeding cycle: standard GMRES, Ritz values from its H.
-            def cycle(offset=iterations):
-                info = run_gmres_cycle(
-                    ctx, st.dmat, st.V, st.x, st.b, m, abs_tol,
-                    history=history, iteration_offset=offset,
-                )
-                return info, checked_true_residual(ctx, A_solve, b_solve, st.x)
-
-            outcome, aborted = run_cycle_resilient(
-                ctx, cycle, st.x, history, unrecovered, degrader=degrader
-            )
-            if aborted:
-                break
-            info, true_res = outcome
-            if info.iterations > 0:
-                square = info.hessenberg[: info.iterations, : info.iterations]
-                ctx.host.charge_small_dense("eig", info.iterations)
-                shifts = ritz_values(square)
-            else:
-                shifts = np.empty(0, dtype=np.complex128)
-            restarts += 1
-            iterations += info.iterations
-        else:
-            def cycle(offset=iterations, restart_index=restarts):
-                result = _ca_cycle(
-                    ctx, st.dmat, st.V, st.x, st.b, s, m, basis, shifts,
-                    tsqr_method, tsqr_variant, borth_method, reorth,
-                    use_mpk, get_mpk, abs_tol, history, offset,
-                    on_breakdown, collect_tsqr_errors, tsqr_errors,
-                    restart_index, adapt_state, max_panel_retries,
-                )
-                return result, checked_true_residual(ctx, A_solve, b_solve, st.x)
-
-            outcome, aborted = run_cycle_resilient(
-                ctx, cycle, st.x, history, unrecovered, degrader=degrader
-            )
-            if aborted:
-                break
-            (cycle_iters, cycle_breakdowns), true_res = outcome
-            restarts += 1
-            iterations += cycle_iters
-            breakdowns += cycle_breakdowns
-        history.record_true(iterations, true_res)
-        if true_res <= abs_tol:
-            converged = True
-            break
-    details = {}
-    if collect_tsqr_errors:
-        details["tsqr_errors"] = tsqr_errors
-    if adapt_state is not None:
-        details["s_history"] = adapt_state["history"]
-    return _finish(
-        ctx, st.x, bal, converged, restarts, iterations, history, breakdowns,
-        details, preconditioner, unrecovered, degrader=degrader,
-    )
+    return CaGmresRun(
+        matrix, b, ctx=ctx, n_gpus=n_gpus, partition=partition, s=s, m=m,
+        basis=basis, tsqr_method=tsqr_method, tsqr_variant=tsqr_variant,
+        borth_method=borth_method, reorth=reorth, use_mpk=use_mpk, tol=tol,
+        max_restarts=max_restarts, balance=balance, x0=x0,
+        on_breakdown=on_breakdown, collect_tsqr_errors=collect_tsqr_errors,
+        adaptive_s=adaptive_s, preconditioner=preconditioner,
+        max_panel_retries=max_panel_retries, degrade=degrade,
+        deadline=deadline, plan=plan,
+    ).result()
 
 
 def _ca_cycle(

@@ -31,7 +31,7 @@ from .degrade import DegradationManager, DegradePolicy
 from .lsq import GivensHessenbergSolver
 from .resilience import guard_finite, run_cycle_resilient
 
-__all__ = ["gmres", "run_gmres_cycle", "CycleInfo", "checked_true_residual"]
+__all__ = ["gmres", "GmresRun", "run_gmres_cycle", "CycleInfo", "checked_true_residual"]
 
 
 @dataclass
@@ -167,6 +167,217 @@ def run_gmres_cycle(
     )
 
 
+class GmresRun:
+    """One restarted-GMRES solve as a resumable object.
+
+    The historical :func:`gmres` driver is ``GmresRun(...).result()``.  The
+    object form exists for the serving layer (:mod:`repro.serve`): a
+    :meth:`step` advances the solve by exactly one restart cycle, so a
+    batched frontend can interleave the restart cycles of many right-hand
+    sides on one context, and a prebuilt structural ``plan`` (see
+    :class:`repro.serve.plan.StructuralPlan`) lets repeated solves against
+    the same matrix skip the per-solve structural setup (balancing,
+    distribution, halo index sets) entirely.  Numerics are unaffected:
+    a plan-driven solve is bit-identical to a cold one.
+    """
+
+    def __init__(
+        self,
+        matrix: CsrMatrix,
+        b: np.ndarray,
+        ctx: MultiGpuContext | None = None,
+        n_gpus: int = 1,
+        partition: Partition | None = None,
+        m: int = 30,
+        tol: float = 1e-4,
+        max_restarts: int = 500,
+        orth_method: str = "cgs",
+        gemv_variant: str = "magma",
+        balance: bool = True,
+        x0: np.ndarray | None = None,
+        preconditioner=None,
+        degrade: DegradePolicy | None = None,
+        deadline: float | None = None,
+        plan=None,
+    ):
+        if matrix.n_rows != matrix.n_cols:
+            raise ValueError("gmres requires a square matrix")
+        n = matrix.n_rows
+        b = np.asarray(b, dtype=np.float64)
+        if b.shape != (n,):
+            raise ValueError(f"b must have shape ({n},), got {b.shape}")
+        if b.size and not np.all(np.isfinite(b)):
+            raise ValueError("b contains non-finite entries")
+        if not 1 <= m <= n:
+            raise ValueError(f"restart length m={m} out of range [1, {n}]")
+        if ctx is None:
+            ctx = MultiGpuContext(n_gpus)
+        elif ctx.inactive_devices:
+            # A previous degraded solve left the roster shrunken; restore the
+            # full device set (and pristine fault state) before partitioning.
+            ctx.reset_clocks()
+        self.ctx = ctx
+        self.plan = plan
+
+        if plan is not None:
+            if partition is not None:
+                raise ValueError("pass either plan= or partition=, not both")
+            if plan.V.n_cols != m + 1:
+                raise ValueError(
+                    f"plan was built for m={plan.V.n_cols - 1}, solve requested m={m}"
+                )
+            partition = plan.partition
+            if partition.n_parts != ctx.n_gpus:
+                raise ValueError("plan partition does not match the active roster")
+            preconditioner = plan.preconditioner
+            bal = plan.bal
+            A_solve = plan.operator
+        else:
+            if partition is None:
+                partition = block_row_partition(n, ctx.n_gpus)
+            A_pre = preconditioner.fold(matrix) if preconditioner is not None else matrix
+            bal = balance_matrix(A_pre) if balance else None
+            A_solve = bal.matrix if bal is not None else A_pre
+        b_solve = bal.scale_rhs(b) if bal is not None else b
+        self.preconditioner = preconditioner
+        self.bal = bal
+        self.A_solve = A_solve
+        self.b_solve = b_solve
+        self.m = int(m)
+        self.max_restarts = int(max_restarts)
+        self.orth_method = orth_method
+        self.gemv_variant = gemv_variant
+
+        # Mutable solver state: the cycle closure and the degraded-mode
+        # rebuild both go through it, so a repartition swaps every
+        # distributed object at once and replayed cycles pick up the
+        # rebuilt versions.
+        self.st = st = SimpleNamespace(
+            partition=partition,
+            dmat=plan.dmat if plan is not None else DistributedMatrix(ctx, A_solve, partition),
+            V=plan.V if plan is not None else DistMultiVector(ctx, partition, m + 1),
+            x=DistVector(ctx, partition),
+            b=DistVector.from_host(ctx, partition, b_solve),
+        )
+        if x0 is not None:
+            if preconditioner is not None:
+                raise ValueError("x0 with a preconditioner is not supported")
+            start = (x0 / bal.col_scale) if bal is not None else x0
+            st.x.set_from_host(np.asarray(start, dtype=np.float64))
+        ctx.reset_clocks()
+        ctx.counters.reset()
+
+        self.degrader = None
+        if degrade is not None or deadline is not None:
+            self.degrader = DegradationManager(
+                ctx, A_solve, self._rebuild, policy=degrade, deadline=deadline
+            )
+
+        history = ConvergenceHistory()
+        r0 = b_solve - A_solve.matvec(gathered_solution(st.x))
+        history.initial_residual = float(np.linalg.norm(r0))
+        self.history = history
+        self.converged = False
+        self.restarts = 0
+        self.iterations = 0
+        self.unrecovered: list[dict] = []
+        self.abs_tol = tol * history.initial_residual
+        # Already at (numerical) convergence: a relative criterion on a zero
+        # residual would be meaningless.
+        floor = 100.0 * np.finfo(np.float64).eps * float(np.linalg.norm(b_solve))
+        if history.initial_residual <= floor:
+            self.converged = True
+            self._gen = None
+        else:
+            self._gen = self._cycle_iter()
+        self._result: SolveResult | None = None
+
+    # ------------------------------------------------------------------
+    def _rebuild(self, new_partition, x_host):
+        """Degraded-mode rebuild of the distributed state over survivors."""
+        ctx, st = self.ctx, self.st
+        st.partition = new_partition
+        if self.plan is not None:
+            sub = self.plan.derive(new_partition)
+            st.dmat = sub.dmat
+            st.V = sub.V
+        else:
+            st.dmat = DistributedMatrix(ctx, self.A_solve, new_partition)
+            st.V = DistMultiVector(ctx, new_partition, self.m + 1)
+        st.b = DistVector.from_host(ctx, new_partition, self.b_solve)
+        st.x = DistVector.from_host(ctx, new_partition, x_host)
+        return st.x
+
+    @property
+    def finished(self) -> bool:
+        """True once the restart loop has terminated."""
+        return self._gen is None
+
+    def step(self) -> bool:
+        """Advance by one restart cycle; False once the solve is finished."""
+        if self._gen is None:
+            return False
+        try:
+            next(self._gen)
+        except StopIteration:
+            self._gen = None
+            return False
+        return True
+
+    def _cycle_iter(self):
+        ctx, st = self.ctx, self.st
+        for _ in range(self.max_restarts):
+            if self.degrader is not None and self.degrader.deadline_reached():
+                return
+            ctx.mark_cycle()
+
+            def cycle(offset=self.iterations):
+                info = run_gmres_cycle(
+                    ctx,
+                    st.dmat,
+                    st.V,
+                    st.x,
+                    st.b,
+                    self.m,
+                    self.abs_tol,
+                    orth_method=self.orth_method,
+                    gemv_variant=self.gemv_variant,
+                    history=self.history,
+                    iteration_offset=offset,
+                )
+                # True residual at the restart boundary (uncosted diagnostic).
+                return info, checked_true_residual(
+                    ctx, self.A_solve, self.b_solve, st.x
+                )
+
+            outcome, aborted = run_cycle_resilient(
+                ctx, cycle, st.x, self.history, self.unrecovered,
+                degrader=self.degrader,
+            )
+            if aborted:
+                return
+            info, true_res = outcome
+            self.restarts += 1
+            self.iterations += info.iterations
+            self.history.record_true(self.iterations, true_res)
+            if true_res <= self.abs_tol:
+                self.converged = True
+                return
+            yield
+
+    def result(self) -> SolveResult:
+        """Run any remaining cycles and return the (cached) final result."""
+        while self.step():
+            pass
+        if self._result is None:
+            self._result = _finish(
+                self.ctx, self.st.x, self.bal, self.converged, self.restarts,
+                self.iterations, self.history, 0, self.preconditioner,
+                self.unrecovered, degrader=self.degrader,
+            )
+        return self._result
+
+
 def gmres(
     matrix: CsrMatrix,
     b: np.ndarray,
@@ -183,6 +394,7 @@ def gmres(
     preconditioner=None,
     degrade: DegradePolicy | None = None,
     deadline: float | None = None,
+    plan=None,
 ) -> SolveResult:
     """Solve ``A x = b`` with restarted GMRES(m) on simulated GPUs.
 
@@ -224,121 +436,25 @@ def gmres(
         Optional simulated-time budget in seconds; the solve stops at the
         first restart boundary past it (``details["degradation"]``
         records the trip).
+    plan
+        Optional prebuilt :class:`repro.serve.plan.StructuralPlan` for this
+        matrix/context: the structural setup (balancing, partitioning,
+        distribution, halo index sets) is reused instead of recomputed.
+        Mutually exclusive with ``partition``; ``balance`` and
+        ``preconditioner`` are taken from the plan.
 
     Returns
     -------
     SolveResult
         Solution in the original variables plus timings/counters/history.
     """
-    if matrix.n_rows != matrix.n_cols:
-        raise ValueError("gmres requires a square matrix")
-    n = matrix.n_rows
-    b = np.asarray(b, dtype=np.float64)
-    if b.shape != (n,):
-        raise ValueError(f"b must have shape ({n},), got {b.shape}")
-    if b.size and not np.all(np.isfinite(b)):
-        raise ValueError("b contains non-finite entries")
-    if not 1 <= m <= n:
-        raise ValueError(f"restart length m={m} out of range [1, {n}]")
-    if ctx is None:
-        ctx = MultiGpuContext(n_gpus)
-    elif ctx.inactive_devices:
-        # A previous degraded solve left the roster shrunken; restore the
-        # full device set (and pristine fault state) before partitioning.
-        ctx.reset_clocks()
-    if partition is None:
-        partition = block_row_partition(n, ctx.n_gpus)
-
-    A_pre = preconditioner.fold(matrix) if preconditioner is not None else matrix
-    bal = balance_matrix(A_pre) if balance else None
-    A_solve = bal.matrix if bal is not None else A_pre
-    b_solve = bal.scale_rhs(b) if bal is not None else b
-
-    # Mutable solver state: the cycle closure and the degraded-mode rebuild
-    # both go through it, so a repartition swaps every distributed object
-    # at once and replayed cycles pick up the rebuilt versions.
-    st = SimpleNamespace(
-        partition=partition,
-        dmat=DistributedMatrix(ctx, A_solve, partition),
-        V=DistMultiVector(ctx, partition, m + 1),
-        x=DistVector(ctx, partition),
-        b=DistVector.from_host(ctx, partition, b_solve),
-    )
-    if x0 is not None:
-        if preconditioner is not None:
-            raise ValueError("x0 with a preconditioner is not supported")
-        start = (x0 / bal.col_scale) if bal is not None else x0
-        st.x.set_from_host(np.asarray(start, dtype=np.float64))
-    ctx.reset_clocks()
-    ctx.counters.reset()
-
-    def rebuild(new_partition, x_host):
-        st.partition = new_partition
-        st.dmat = DistributedMatrix(ctx, A_solve, new_partition)
-        st.V = DistMultiVector(ctx, new_partition, m + 1)
-        st.b = DistVector.from_host(ctx, new_partition, b_solve)
-        st.x = DistVector.from_host(ctx, new_partition, x_host)
-        return st.x
-
-    degrader = None
-    if degrade is not None or deadline is not None:
-        degrader = DegradationManager(
-            ctx, A_solve, rebuild, policy=degrade, deadline=deadline
-        )
-
-    history = ConvergenceHistory()
-    r0 = b_solve - A_solve.matvec(gathered_solution(st.x))
-    history.initial_residual = float(np.linalg.norm(r0))
-    # Already at (numerical) convergence: a relative criterion on a zero
-    # residual would be meaningless.
-    floor = 100.0 * np.finfo(np.float64).eps * float(np.linalg.norm(b_solve))
-    if history.initial_residual <= floor:
-        return _finish(ctx, st.x, bal, True, 0, 0, history, 0, preconditioner,
-                       degrader=degrader)
-    abs_tol = tol * history.initial_residual
-
-    converged = False
-    restarts = 0
-    iterations = 0
-    unrecovered: list[dict] = []
-    for _ in range(max_restarts):
-        if degrader is not None and degrader.deadline_reached():
-            break
-        ctx.mark_cycle()
-
-        def cycle(offset=iterations):
-            info = run_gmres_cycle(
-                ctx,
-                st.dmat,
-                st.V,
-                st.x,
-                st.b,
-                m,
-                abs_tol,
-                orth_method=orth_method,
-                gemv_variant=gemv_variant,
-                history=history,
-                iteration_offset=offset,
-            )
-            # True residual at the restart boundary (uncosted diagnostic).
-            return info, checked_true_residual(ctx, A_solve, b_solve, st.x)
-
-        outcome, aborted = run_cycle_resilient(
-            ctx, cycle, st.x, history, unrecovered, degrader=degrader
-        )
-        if aborted:
-            break
-        info, true_res = outcome
-        restarts += 1
-        iterations += info.iterations
-        history.record_true(iterations, true_res)
-        if true_res <= abs_tol:
-            converged = True
-            break
-    return _finish(
-        ctx, st.x, bal, converged, restarts, iterations, history, 0, preconditioner,
-        unrecovered, degrader=degrader,
-    )
+    return GmresRun(
+        matrix, b, ctx=ctx, n_gpus=n_gpus, partition=partition, m=m, tol=tol,
+        max_restarts=max_restarts, orth_method=orth_method,
+        gemv_variant=gemv_variant, balance=balance, x0=x0,
+        preconditioner=preconditioner, degrade=degrade, deadline=deadline,
+        plan=plan,
+    ).result()
 
 
 def _finish(

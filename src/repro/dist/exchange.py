@@ -84,6 +84,10 @@ class StagedExchange:
         self._stage_pos = [
             np.searchsorted(self.union_requested, req) for req in self.recv_global
         ]
+        # The staging buffer itself is exchange-invariant in size and every
+        # slot is rewritten by the gather phase of each call, so it is
+        # allocated once here instead of on every (hot-path) exchange.
+        self._stage = np.empty(self.union_requested.size, dtype=np.float64)
 
     # -- volumes (paper Section IV-B accounting) ---------------------------
     def gather_volume(self) -> int:
@@ -129,7 +133,7 @@ class StagedExchange:
         """
         if len(x_parts) != self.partition.n_parts:
             raise ValueError("x_parts must have one entry per device")
-        stage = np.empty(self.union_requested.size, dtype=np.float64)
+        stage = self._stage
         for d, dev in enumerate(ctx.devices):
             send = self.send_local[d]
             if send.size == 0:

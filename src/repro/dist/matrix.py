@@ -113,7 +113,11 @@ class DistributedMatrix:
             z.data[:n_own] = x_parts[d].data
             dev.charge_kernel("copy", "cublas", n=n_own)
             if received[d].size:
+                # Halo placement is a device copy too (same undercounting as
+                # the MPK setup phase had: the own-row copy was charged but
+                # the halo copy was free).
                 z.data[n_own : n_own + received[d].size] = received[d]
+                dev.charge_kernel("copy", "cublas", n=received[d].size)
             values, col_idx = self.local_ell[d]
             blas.spmv_ell(values, col_idx, z, y_parts[d])
 

@@ -21,7 +21,7 @@ import numpy as np
 
 from .plan import DEFAULT_KINDS, FaultPlan
 
-__all__ = ["run_campaign", "run_trial", "campaign_tables"]
+__all__ = ["run_campaign", "run_trial", "campaign_tables", "make_session"]
 
 
 def _solvers() -> dict:
@@ -49,6 +49,37 @@ _EMPTY_FAULTS = {
 }
 
 
+def make_session(
+    solver: str = "ca_gmres",
+    problem: str = "poisson2d",
+    nx: int = 30,
+    n_gpus: int = 2,
+    s: int = 5,
+    m: int = 20,
+    tol: float = 1e-6,
+    max_restarts: int = 80,
+):
+    """One :class:`~repro.serve.SolverSession` for a whole campaign.
+
+    The session's structural plan (partition, distributed matrix, MPK
+    closure, exchange index sets) is computed once and shared by every
+    trial; :meth:`~repro.serve.SolverSession.arm_fault_plan` swaps the
+    fault schedule between trials on the long-lived context.  Only the
+    sessionable solvers are supported (``pipelined`` has no Run form).
+    """
+    from ..serve import SolverSession
+
+    if solver not in ("gmres", "ca_gmres"):
+        raise ValueError(f"solver {solver!r} does not support session mode")
+    A = _problems()[problem](nx)
+    kwargs = dict(
+        n_gpus=n_gpus, m=m, tol=tol, max_restarts=max_restarts
+    )
+    if solver == "ca_gmres":
+        return SolverSession(A, solver="ca", s=s, **kwargs)
+    return SolverSession(A, solver="gmres", **kwargs)
+
+
 def run_trial(
     solver: str = "ca_gmres",
     problem: str = "poisson2d",
@@ -65,35 +96,47 @@ def run_trial(
     max_faults: int | None = None,
     degrade: bool = False,
     deadline: float | None = None,
+    session=None,
 ) -> dict:
     """One solve under one fault plan; returns a flat record.
 
     With ``degrade`` the solve runs under a default
     :class:`~repro.core.degrade.DegradePolicy`: device dropouts are
     absorbed by repartitioning over the survivors instead of aborting.
-    ``deadline`` sets a simulated-time budget in seconds.
+    ``deadline`` sets a simulated-time budget in seconds.  With
+    ``session`` (see :func:`make_session`) the solve reuses the session's
+    cached structural plan and context instead of rebuilding them; the
+    record is byte-identical either way.
     """
     from ..core.degrade import DegradePolicy
     from ..gpu.context import MultiGpuContext
 
-    solve = _solvers()[solver]
-    A = _problems()[problem](nx)
-    b = np.ones(A.n_rows)
     plan = FaultPlan.from_rate(
         seed, rate, kinds=kinds, stall_factor=stall_factor, max_faults=max_faults
     )
-    ctx = MultiGpuContext(n_gpus, fault_plan=plan)
-    kwargs = dict(ctx=ctx, m=m, tol=tol, max_restarts=max_restarts)
-    if solver == "ca_gmres":
-        kwargs["s"] = s
+    overrides = {}
     if degrade:
-        kwargs["degrade"] = DegradePolicy()
+        overrides["degrade"] = DegradePolicy()
     if deadline is not None:
-        kwargs["deadline"] = deadline
-    # Poisoned values legitimately flow through a few kernels before a
-    # guard catches them; silence the resulting NumPy warnings locally.
-    with np.errstate(invalid="ignore", over="ignore"):
-        result = solve(A, b, **kwargs)
+        overrides["deadline"] = deadline
+    if session is not None:
+        session.arm_fault_plan(plan)
+        b = np.ones(session.matrix.n_rows)
+        with np.errstate(invalid="ignore", over="ignore"):
+            result = session.solve(b, **overrides)
+    else:
+        solve = _solvers()[solver]
+        A = _problems()[problem](nx)
+        b = np.ones(A.n_rows)
+        ctx = MultiGpuContext(n_gpus, fault_plan=plan)
+        kwargs = dict(ctx=ctx, m=m, tol=tol, max_restarts=max_restarts)
+        if solver == "ca_gmres":
+            kwargs["s"] = s
+        kwargs.update(overrides)
+        # Poisoned values legitimately flow through a few kernels before a
+        # guard catches them; silence the resulting NumPy warnings locally.
+        with np.errstate(invalid="ignore", over="ignore"):
+            result = solve(A, b, **kwargs)
     faults = result.details.get("faults", _EMPTY_FAULTS)
     degradation = result.details.get("degradation")
     injected_by_kind = dict(Counter(r["kind"] for r in faults["injected"]))
@@ -142,6 +185,7 @@ def run_campaign(
     max_faults: int | None = None,
     degrade: bool = False,
     deadline: float | None = None,
+    session: bool = False,
 ) -> dict:
     """Run ``trials`` solves (trial ``i`` seeded ``seed + i``); aggregate.
 
@@ -149,6 +193,10 @@ def run_campaign(
     records (:func:`run_trial`), and campaign totals.  Deterministic:
     identical arguments produce an identical dict.  ``degrade`` and
     ``deadline`` are forwarded to every trial (see :func:`run_trial`).
+    With ``session`` all trials share one :class:`~repro.serve.SolverSession`
+    (structural plan computed once, fault plans re-armed per trial); the
+    per-trial records are byte-identical to the sessionless campaign, and
+    the returned dict gains a ``"serving"`` key with the plan-cache stats.
     """
     if trials < 1:
         raise ValueError("trials must be >= 1")
@@ -159,12 +207,23 @@ def run_campaign(
         "stall_factor": stall_factor, "max_faults": max_faults,
         "degrade": degrade, "deadline": deadline,
     }
+    if session:
+        config["session"] = True
+    sess = (
+        make_session(
+            solver=solver, problem=problem, nx=nx, n_gpus=n_gpus,
+            s=s, m=m, tol=tol, max_restarts=max_restarts,
+        )
+        if session
+        else None
+    )
     records = [
         run_trial(
             solver=solver, problem=problem, nx=nx, n_gpus=n_gpus,
             seed=seed + i, rate=rate, kinds=kinds, s=s, m=m, tol=tol,
             max_restarts=max_restarts, stall_factor=stall_factor,
             max_faults=max_faults, degrade=degrade, deadline=deadline,
+            session=sess,
         )
         for i in range(trials)
     ]
@@ -185,7 +244,10 @@ def run_campaign(
         "repartitions": sum(r["repartitions"] for r in records),
         "deadline_exceeded_trials": sum(r["deadline_exceeded"] for r in records),
     }
-    return {"config": config, "trials": records, "totals": totals}
+    out = {"config": config, "trials": records, "totals": totals}
+    if sess is not None:
+        out["serving"] = sess.stats()
+    return out
 
 
 def campaign_tables(campaign: dict) -> str:
@@ -249,5 +311,13 @@ def campaign_tables(campaign: dict) -> str:
         tail += (
             f"; {t['repartitions']} repartition(s), "
             f"{t['deadline_exceeded_trials']} deadline-exceeded trial(s)"
+        )
+    serving = campaign.get("serving")
+    if serving is not None:
+        tail += (
+            f"\nserving: {serving['structural_plans']} structural plan(s) "
+            f"across {serving['n_solves']} solve(s) — "
+            f"{serving['plan_hits']} hit(s), {serving['plan_misses']} miss(es), "
+            f"{serving['invalidations']} invalidation(s)"
         )
     return "\n\n".join([trial_table, summary, actions, tail])

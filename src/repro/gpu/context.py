@@ -87,6 +87,37 @@ class MultiGpuContext:
         self._inactive: set[str] = set()
         self.host = Host(self.perf, self.counters, trace=self.trace, faults=self.faults)
         self.bus = PcieBus(machine.pcie, trace=self.trace, faults=self.faults)
+        self._autotuner = None
+
+    @property
+    def autotuner(self):
+        """Shared :class:`~repro.perf.autotune.KernelAutotuner` for this node.
+
+        Lazily built; kernels that auto-resolve a variant per call share its
+        shape->variant cache instead of rebuilding the tuner on the hot path.
+        Decisions depend only on the machine spec, so the cache survives
+        :meth:`reset_clocks` and device deactivations.
+        """
+        if self._autotuner is None:
+            from ..perf.autotune import KernelAutotuner
+
+            self._autotuner = KernelAutotuner(self.machine)
+        return self._autotuner
+
+    def arm_fault_plan(self, fault_plan) -> None:
+        """Swap in a new fault plan on the existing context.
+
+        Rebuilds the injector (fresh RNG streams and occurrence counters)
+        and re-arms every device, the host, and the bus with it, so one
+        long-lived context — e.g. a serving session's — can run a sequence
+        of fault-campaign trials without rebuilding its distributed state.
+        Pass ``None`` to disarm.
+        """
+        self.faults = FaultInjector(fault_plan, trace=self.trace)
+        for dev in self.all_devices:
+            dev.faults = self.faults
+        self.host.faults = self.faults
+        self.bus.faults = self.faults
 
     @property
     def resilience_enabled(self) -> bool:

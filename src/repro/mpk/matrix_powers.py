@@ -71,13 +71,20 @@ class MatrixPowersKernel:
         for d, dev in enumerate(ctx.devices):
             dep = self.deps[d]
             ext = dep.ext_rows
+            # Reset the shared scratch per device: a stale mapping left by
+            # device d-1 could otherwise satisfy the closure check for a
+            # column that is *not* in this device's extended set and remap
+            # it to an arbitrary in-range slot (silently wrong numerics).
+            lookup.fill(-1)
             lookup[ext] = np.arange(ext.size)
             # Rows computed anywhere in the kernel: i^(d,2) (prefix of ext).
             compute_rows = ext[: dep.i_size(2)]
             local = matrix.extract_rows(compute_rows)
-            if local.nnz and np.any(lookup[local.indices] >= ext.size):
-                raise AssertionError("MPK dependency closure violated")
             remapped_indices = lookup[local.indices]
+            if local.nnz and remapped_indices.min() < 0:
+                raise AssertionError(
+                    f"MPK dependency closure violated on device {dev.name}"
+                )
             self._local.append(
                 (
                     dev.adopt(local.indptr),
@@ -120,7 +127,11 @@ class MatrixPowersKernel:
             z_cur.data[:n_own] = x_parts[d].data
             dev.charge_kernel("copy", "cublas", n=n_own)
             if received[d].size:
+                # Placing the halo into the extended vector is a device copy
+                # of |δ^(d,1:s)| elements — part of the MPK setup phase the
+                # paper times, so it is charged like the own-row copy above.
                 z_cur.data[n_own : n_own + received[d].size] = received[d]
+                dev.charge_kernel("copy", "cublas", n=received[d].size)
             indptr, indices, data = self._local[d]
             for k in range(1, self.s + 1):
                 active = dep.active_rows(k)

@@ -52,9 +52,7 @@ def _resolve_auto_variant(ctx, method: str, n_rows: int, k_cols: int) -> str:
     The model-level autotuner of :mod:`repro.perf.autotune` — the paper's
     footnote 7/8 direction ("the potential of using an auto-tuner").
     """
-    from ..perf.autotune import KernelAutotuner
-
-    tuner = KernelAutotuner(ctx.machine)
+    tuner = ctx.autotuner
     op = _PRIMARY_KERNEL[method]
     local_n = max(n_rows // ctx.n_gpus, 1)
     if op in ("gemm_tn",):

@@ -1,0 +1,313 @@
+"""Structural plans: the reusable, RHS-independent half of a solve.
+
+A solve against a fixed operator splits cleanly into
+
+* **structure** — ordering permutation, balancing, row partition, the
+  distributed ELLPACK matrix with its halo index sets, the basis
+  multivector, the MPK dependency closures, and the staged-exchange
+  staging buffers.  Pure functions of the sparsity pattern + config +
+  device roster; *expensive* on the host (k-way partitioning and the MPK
+  closure dominate) and wholly uncosted in the simulated timeline.
+* **numerics** — everything touching ``b``: the RHS/solution vectors and
+  the iteration itself.
+
+:class:`StructuralPlan` owns the first half.  :class:`PlanCache` builds
+plans on demand, keyed by :class:`~repro.serve.fingerprint.Fingerprint`,
+and splits the roster-independent host work (:class:`HostPlan`) from the
+roster-dependent device state so a mid-solve repartition invalidates only
+the latter.
+
+Bit-identity
+------------
+Reusing a plan across solves is numerically safe by construction: every
+device buffer a plan holds is either fully rewritten before it is read
+(basis columns, the SpMV extended vector) or carries the prefix-write /
+prefix-read closure property (MPK ping-pong buffers), so stale contents
+from a previous solve can never leak into a later one.  The serving tests
+assert byte-for-byte equality of warm and cold solves.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..core.balance import balance_matrix
+from ..dist.matrix import DistributedMatrix
+from ..dist.multivector import DistMultiVector
+from ..mpk.matrix_powers import MatrixPowersKernel
+from ..order.kway import kway_partition
+from ..order.partition import Partition, block_row_partition
+from ..order.rcm import rcm
+from ..sparse.csr import CsrMatrix
+from .fingerprint import Fingerprint, pattern_hash
+
+__all__ = ["HostPlan", "StructuralPlan", "PlanCache"]
+
+#: Orderings the serving layer understands.
+ORDERINGS = ("natural", "rcm", "kway")
+
+
+@dataclass
+class HostPlan:
+    """Roster-independent structural state (survives any repartition).
+
+    Attributes
+    ----------
+    key
+        The :meth:`Fingerprint.host_key` tuple this entry is cached under.
+    ordering
+        ``"natural"`` / ``"rcm"`` / ``"kway"``.
+    perm
+        RCM permutation (``perm[k]`` = original index at position ``k``),
+        or ``None`` for orderings that keep the native row order.
+    matrix
+        The (possibly permuted) matrix in solve ordering.
+    bal
+        :class:`~repro.core.balance.BalanceResult` or ``None``.
+    operator
+        The folded + balanced operator the iteration runs on.
+    preconditioner
+        The preconditioner folded into ``operator`` (or ``None``).
+    """
+
+    key: tuple
+    ordering: str
+    perm: np.ndarray | None
+    matrix: CsrMatrix
+    bal: object | None
+    operator: CsrMatrix
+    preconditioner: object | None
+
+    def to_solve_order(self, v: np.ndarray) -> np.ndarray:
+        """Map a vector from original ordering into solve ordering."""
+        return v if self.perm is None else v[self.perm]
+
+    def from_solve_order(self, v: np.ndarray) -> np.ndarray:
+        """Map a vector from solve ordering back to the original."""
+        if self.perm is None:
+            return v
+        out = np.empty_like(v)
+        out[self.perm] = v
+        return out
+
+
+class StructuralPlan:
+    """Roster-dependent structural state for one (host plan, partition).
+
+    Exposes exactly the attributes the solvers' ``plan=`` path consumes:
+    ``partition`` / ``dmat`` / ``V`` / ``mpk`` plus the host-plan
+    delegates ``bal`` / ``operator`` / ``preconditioner``, and
+    :meth:`derive` for degraded-mode repartitions.  ``mpk`` is a plain
+    ``dict`` the solver fills through its own per-length accessor, so MPK
+    closures built during the first solve persist for every later one.
+    """
+
+    def __init__(
+        self,
+        key: Fingerprint,
+        host: HostPlan,
+        ctx,
+        partition: Partition,
+        cache: "PlanCache",
+    ):
+        self.key = key
+        self.host = host
+        self.ctx = ctx
+        self.partition = partition
+        self.dmat = DistributedMatrix(ctx, host.operator, partition)
+        self.V = DistMultiVector(ctx, partition, key.m + 1)
+        self.mpk: dict[int, MatrixPowersKernel] = {}
+        self._cache = cache
+
+    @property
+    def m(self) -> int:
+        return self.key.m
+
+    @property
+    def bal(self):
+        return self.host.bal
+
+    @property
+    def operator(self) -> CsrMatrix:
+        return self.host.operator
+
+    @property
+    def preconditioner(self):
+        return self.host.preconditioner
+
+    def ensure_mpk(self, lengths) -> None:
+        """Prebuild MPK closures for the given block lengths."""
+        for length in lengths:
+            if length not in self.mpk:
+                self.mpk[length] = MatrixPowersKernel(
+                    self.ctx, self.operator, self.partition, int(length)
+                )
+
+    def derive(self, new_partition: Partition, mpk_lengths=()) -> "StructuralPlan":
+        """Plan for the current (shrunken) roster after a repartition.
+
+        Routed through the owning :class:`PlanCache`: the first
+        degradation to a given roster builds the survivor plan, later
+        degradations to the same roster reuse it.  A cached entry whose
+        partition disagrees with ``new_partition`` is invalidated and
+        rebuilt.
+        """
+        return self._cache.structural_plan(
+            self.ctx,
+            self.host,
+            self.key.m,
+            self.key.mpk_lengths or mpk_lengths,
+            partition=new_partition,
+            prebuild_mpk=mpk_lengths,
+        )
+
+    def device_memory_bytes(self) -> list[int]:
+        """Per-device resident bytes of the plan's distributed state."""
+        total = list(self.dmat.device_memory_bytes())
+        for d in range(len(total)):
+            total[d] += int(self.V.local[d].nbytes)
+        for mpk in self.mpk.values():
+            for d, nbytes in enumerate(mpk.device_memory_bytes()):
+                total[d] += nbytes
+        return total
+
+
+def _same_partition(a: Partition, b: Partition) -> bool:
+    return a.n_parts == b.n_parts and np.array_equal(a.assignment, b.assignment)
+
+
+@dataclass
+class PlanCache:
+    """Two-level plan cache with roster-aware invalidation.
+
+    Level 1 caches :class:`HostPlan` entries (ordering + balancing), keyed
+    by the roster-independent :meth:`Fingerprint.host_key`.  Level 2
+    caches :class:`StructuralPlan` entries keyed by the full
+    :class:`Fingerprint` — these hold device-resident state, so entries
+    are dropped when their roster or context goes away while the host
+    entries survive untouched.
+    """
+
+    host_plans: dict = field(default_factory=dict)
+    plans: dict = field(default_factory=dict)
+    stats: dict = field(
+        default_factory=lambda: {
+            "host_hits": 0,
+            "host_misses": 0,
+            "plan_hits": 0,
+            "plan_misses": 0,
+            "invalidations": 0,
+        }
+    )
+
+    # -- level 1: host plans ------------------------------------------------
+    def host_plan(
+        self,
+        matrix: CsrMatrix,
+        ordering: str = "natural",
+        balance: bool = True,
+        preconditioner=None,
+    ) -> HostPlan:
+        """Fetch or build the ordering/balance plan for ``matrix``."""
+        if ordering not in ORDERINGS:
+            raise ValueError(
+                f"unknown ordering {ordering!r}; choose from {ORDERINGS}"
+            )
+        key = (
+            pattern_hash(matrix),
+            ordering,
+            bool(balance),
+            None if preconditioner is None else repr(preconditioner),
+        )
+        cached = self.host_plans.get(key)
+        if cached is not None:
+            self.stats["host_hits"] += 1
+            return cached
+        self.stats["host_misses"] += 1
+        perm = rcm(matrix) if ordering == "rcm" else None
+        A_p = matrix.permute(perm) if perm is not None else matrix
+        A_pre = preconditioner.fold(A_p) if preconditioner is not None else A_p
+        bal = balance_matrix(A_pre) if balance else None
+        plan = HostPlan(
+            key=key,
+            ordering=ordering,
+            perm=perm,
+            matrix=A_p,
+            bal=bal,
+            operator=bal.matrix if bal is not None else A_pre,
+            preconditioner=preconditioner,
+        )
+        self.host_plans[key] = plan
+        return plan
+
+    # -- level 2: roster-dependent plans ------------------------------------
+    def structural_plan(
+        self,
+        ctx,
+        host: HostPlan,
+        m: int,
+        mpk_lengths=(),
+        partition: Partition | None = None,
+        prebuild_mpk=(),
+    ) -> StructuralPlan:
+        """Fetch or build the device-level plan for the *active* roster."""
+        roster = tuple(dev.name for dev in ctx.devices)
+        key = Fingerprint(
+            pattern=host.key[0],
+            ordering=host.ordering,
+            m=int(m),
+            mpk_lengths=tuple(sorted(int(x) for x in mpk_lengths)),
+            roster=roster,
+            balance=host.key[2],
+            preconditioner=host.key[3],
+        )
+        cached = self.plans.get(key)
+        if cached is not None:
+            stale = cached.ctx is not ctx or (
+                partition is not None
+                and not _same_partition(cached.partition, partition)
+            )
+            if not stale:
+                self.stats["plan_hits"] += 1
+                cached.ensure_mpk(prebuild_mpk)
+                return cached
+            self.invalidate(key)
+        self.stats["plan_misses"] += 1
+        if partition is None:
+            if host.ordering == "kway":
+                partition = kway_partition(host.operator, len(roster))
+            else:
+                partition = block_row_partition(host.operator.n_rows, len(roster))
+        plan = StructuralPlan(key, host, ctx, partition, self)
+        plan.ensure_mpk(prebuild_mpk)
+        self.plans[key] = plan
+        return plan
+
+    # -- invalidation --------------------------------------------------------
+    def invalidate(self, key: Fingerprint) -> bool:
+        """Drop one structural plan (host plans are never affected)."""
+        if key in self.plans:
+            del self.plans[key]
+            self.stats["invalidations"] += 1
+            return True
+        return False
+
+    def invalidate_device(self, name: str) -> int:
+        """Drop every structural plan whose roster includes ``name``.
+
+        Called when a device is retired for good; host plans — ordering
+        and balancing know nothing of devices — survive.
+        """
+        doomed = [k for k in self.plans if name in k.roster]
+        for k in doomed:
+            self.invalidate(k)
+        return len(doomed)
+
+    def clear_device_plans(self) -> int:
+        """Drop all structural plans (e.g. when the context is replaced)."""
+        n = len(self.plans)
+        for k in list(self.plans):
+            self.invalidate(k)
+        return n

@@ -1,0 +1,263 @@
+"""Solver sessions: plan once, solve many.
+
+:class:`SolverSession` binds one matrix + one solver configuration to one
+:class:`~repro.gpu.context.MultiGpuContext` and answers repeated
+``solve(b)`` calls.  The first call computes the structural plan —
+ordering, partition, distributed matrix, MPK dependency closure,
+staged-exchange index sets, autotuner decisions — and caches it under a
+structural fingerprint; every later call (including after
+``ctx.reset_clocks()`` or a mid-solve repartition) reuses it.  Warm solves
+are bit-identical to cold ones: the plan holds no RHS-dependent state, and
+structural setup is uncosted in the simulated timeline, so even the
+simulated timers/counters match exactly — only host wall-clock changes.
+
+``solve_many`` batches right-hand sides over the shared plan.  By default
+the restart cycles of all pending solves are interleaved round-robin on
+the context (the serving analogue of pipelining independent queries);
+numerics are per-RHS independent, so each returned
+:class:`~repro.core.convergence.SolveResult` is byte-for-byte what a
+sequential ``solve`` would have produced, while the simulated timers and
+counters describe the whole interleaved batch.  Fault injection,
+degradation policies, and deadlines force the sequential path — their
+replay determinism is defined per-solve.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import numpy as np
+
+from ..core.ca_gmres import CaGmresRun
+from ..core.convergence import SolveResult
+from ..core.gmres import GmresRun
+from ..gpu.context import MultiGpuContext
+from ..sparse.csr import CsrMatrix
+from .fingerprint import Fingerprint
+from .plan import ORDERINGS, PlanCache, StructuralPlan
+
+__all__ = ["SolverSession"]
+
+#: Arguments solve() may override per call (everything else is structural
+#: and fixed at session construction).
+_PER_SOLVE_KWARGS = frozenset(
+    {
+        "x0",
+        "tol",
+        "max_restarts",
+        "degrade",
+        "deadline",
+        "collect_tsqr_errors",
+        "adaptive_s",
+        "on_breakdown",
+        "max_panel_retries",
+    }
+)
+
+
+class SolverSession:
+    """A long-lived solver bound to one matrix, config, and context.
+
+    Parameters
+    ----------
+    matrix
+        The system matrix (original ordering; the session permutes).
+    solver
+        ``"ca"`` (CA-GMRES, the default) or ``"gmres"``.
+    ctx, n_gpus
+        Execution context, or the GPU count to build one with.
+    ordering
+        ``"natural"``, ``"rcm"`` (bandwidth-reducing permutation), or
+        ``"kway"`` (graph partition; rows stay in native order).
+    m, s, basis, balance, tol, max_restarts, preconditioner
+        Solver configuration, as in :func:`repro.core.ca_gmres.ca_gmres` /
+        :func:`repro.core.gmres.gmres`.  ``m`` defaults to 60 for CA-GMRES
+        and 30 for GMRES.
+    cache
+        Optional shared :class:`~repro.serve.plan.PlanCache`; sessions on
+        the same context may share one to pool host-level plans.
+    **solver_kwargs
+        Remaining solver options (``tsqr_method``, ``reorth``,
+        ``use_mpk``, ``orth_method``, ``degrade``, ``deadline``, ...)
+        forwarded verbatim to the solver.
+    """
+
+    def __init__(
+        self,
+        matrix: CsrMatrix,
+        solver: str = "ca",
+        ctx: MultiGpuContext | None = None,
+        n_gpus: int = 1,
+        ordering: str = "natural",
+        m: int | None = None,
+        s: int = 15,
+        basis: str = "newton",
+        balance: bool = True,
+        tol: float = 1e-4,
+        max_restarts: int = 500,
+        preconditioner=None,
+        cache: PlanCache | None = None,
+        **solver_kwargs,
+    ):
+        if solver not in ("ca", "gmres"):
+            raise ValueError(f"unknown solver {solver!r}; choose 'ca' or 'gmres'")
+        if ordering not in ORDERINGS:
+            raise ValueError(
+                f"unknown ordering {ordering!r}; choose from {ORDERINGS}"
+            )
+        if matrix.n_rows != matrix.n_cols:
+            raise ValueError("SolverSession requires a square matrix")
+        self.matrix = matrix
+        self.solver = solver
+        self.ctx = ctx if ctx is not None else MultiGpuContext(n_gpus)
+        self.ordering = ordering
+        self.m = int(m) if m is not None else (60 if solver == "ca" else 30)
+        self.s = int(s)
+        self.basis = basis
+        self.balance = bool(balance)
+        self.tol = float(tol)
+        self.max_restarts = int(max_restarts)
+        self.preconditioner = preconditioner
+        self.solver_kwargs = dict(solver_kwargs)
+        self.cache = cache if cache is not None else PlanCache()
+        self.n_solves = 0
+        if solver == "ca":
+            use_mpk = self.solver_kwargs.get("use_mpk", True)
+            self._mpk_lengths = (
+                tuple(sorted({self.s, self.m % self.s} - {0})) if use_mpk else ()
+            )
+        else:
+            self._mpk_lengths = ()
+
+    # ------------------------------------------------------------------
+    @property
+    def plan(self) -> StructuralPlan:
+        """The structural plan for the context's *active* roster.
+
+        Built on first access (or first :meth:`solve`), then reused.
+        """
+        host = self.cache.host_plan(
+            self.matrix, self.ordering, self.balance, self.preconditioner
+        )
+        return self.cache.structural_plan(
+            self.ctx, host, self.m, self._mpk_lengths
+        )
+
+    @property
+    def fingerprint(self) -> Fingerprint:
+        """The full plan key for the current roster."""
+        return self.plan.key
+
+    def stats(self) -> dict:
+        """Cache hit/miss/invalidation counters plus session totals."""
+        out = dict(self.cache.stats)
+        out["n_solves"] = self.n_solves
+        out["host_plans"] = len(self.cache.host_plans)
+        out["structural_plans"] = len(self.cache.plans)
+        return out
+
+    def arm_fault_plan(self, fault_plan) -> None:
+        """Re-arm the session's context with a new fault plan.
+
+        The structural plan survives — it holds no fault state — so one
+        session can serve a whole fault campaign's trials.
+        """
+        self.ctx.arm_fault_plan(fault_plan)
+
+    # ------------------------------------------------------------------
+    def _make_run(self, b: np.ndarray, overrides: dict):
+        bad = set(overrides) - _PER_SOLVE_KWARGS
+        if bad:
+            raise TypeError(
+                f"not per-solve overridable: {sorted(bad)} "
+                "(fix these at session construction)"
+            )
+        if self.ctx.inactive_devices:
+            # A previous degraded solve left the roster shrunken; the solver
+            # would restore it anyway — do it first so the plan lookup keys
+            # on the full roster (the survivor-roster entry stays cached for
+            # the next mid-solve repartition).
+            self.ctx.reset_clocks()
+        plan = self.plan
+        host = plan.host
+        b = np.asarray(b, dtype=np.float64)
+        if b.shape != (self.matrix.n_rows,):
+            raise ValueError(
+                f"b must have shape ({self.matrix.n_rows},), got {b.shape}"
+            )
+        kwargs = dict(self.solver_kwargs)
+        kwargs.pop("use_mpk", None)
+        kwargs.update(overrides)
+        x0 = kwargs.pop("x0", None)
+        if x0 is not None:
+            x0 = host.to_solve_order(np.asarray(x0, dtype=np.float64))
+        common = dict(
+            ctx=self.ctx,
+            plan=plan,
+            m=self.m,
+            tol=kwargs.pop("tol", self.tol),
+            max_restarts=kwargs.pop("max_restarts", self.max_restarts),
+            x0=x0,
+        )
+        b_p = host.to_solve_order(b)
+        if self.solver == "ca":
+            use_mpk = self.solver_kwargs.get("use_mpk", True)
+            run = CaGmresRun(
+                host.matrix, b_p, s=self.s, basis=self.basis,
+                use_mpk=use_mpk, **common, **kwargs,
+            )
+        else:
+            run = GmresRun(host.matrix, b_p, **common, **kwargs)
+        run._serve_host = host
+        return run
+
+    def _postprocess(self, run) -> SolveResult:
+        result = run.result()
+        self.n_solves += 1
+        host = run._serve_host
+        if host.perm is None:
+            return result
+        return dataclasses.replace(result, x=host.from_solve_order(result.x))
+
+    def solve(self, b: np.ndarray, **overrides) -> SolveResult:
+        """Solve ``A x = b`` reusing the session's structural plan.
+
+        ``overrides`` may adjust per-solve options (``tol``,
+        ``max_restarts``, ``x0``, ``degrade``, ``deadline``, ...);
+        structural options are fixed for the session's lifetime.
+        """
+        return self._postprocess(self._make_run(b, overrides))
+
+    def solve_many(
+        self,
+        bs,
+        interleave: bool | None = None,
+        **overrides,
+    ) -> list[SolveResult]:
+        """Solve one system per right-hand side over the shared plan.
+
+        With ``interleave`` (the default when no fault plan, degrade
+        policy, or deadline is active) the pending solves' restart cycles
+        are multiplexed round-robin on the context.  Per-RHS numerics are
+        independent — each result's ``x``/``history`` is byte-for-byte
+        identical to a sequential :meth:`solve` — while simulated timers
+        and counters describe the batch as a whole.  Pass
+        ``interleave=False`` to force fully sequential solves (required,
+        and auto-selected, whenever fault replay determinism matters).
+        """
+        bs = list(bs)
+        if interleave is None:
+            interleave = not (
+                self.ctx.faults.active
+                or "degrade" in overrides
+                or "deadline" in overrides
+                or self.solver_kwargs.get("degrade") is not None
+                or self.solver_kwargs.get("deadline") is not None
+            )
+        if not interleave:
+            return [self.solve(b, **overrides) for b in bs]
+        runs = [self._make_run(b, overrides) for b in bs]
+        pending = list(runs)
+        while pending:
+            pending = [run for run in pending if run.step()]
+        return [self._postprocess(run) for run in runs]

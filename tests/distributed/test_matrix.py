@@ -128,3 +128,24 @@ class TestDistributedSpmv:
         np.testing.assert_allclose(
             V.gather_column_to_host(2), A.matvec(A.matvec(x)), atol=1e-12
         )
+
+
+class TestSpmvCostAccounting:
+    def test_halo_placement_copy_charged(self):
+        """spmv charges one own-part copy per device plus one halo copy per
+        device with a nonempty halo (plus the exchange's gather copies)."""
+        A = poisson2d(8)
+        ctx = MultiGpuContext(3)
+        part = block_row_partition(A.n_rows, 3)
+        dmat = DistributedMatrix(ctx, A, part)
+        x = DistMultiVector(ctx, part, 1)
+        y = DistMultiVector(ctx, part, 1)
+        x.set_column_from_host(0, np.ones(A.n_rows))
+        ctx.reset_clocks()
+        ctx.counters.reset()
+        dmat.spmv(x, 0, y, 0)
+        halo_devices = sum(1 for h in dmat.plan.halo if h.size > 0)
+        senders = sum(1 for s in dmat.plan.send_local if s.size > 0)
+        expected = senders + 3 + halo_devices
+        assert halo_devices > 0
+        assert ctx.counters.kernel_counts["copy/cublas"] == expected

@@ -75,9 +75,9 @@ class TestPoisonRecovery:
 
     def test_late_poison_escalates_to_cycle_redo(self):
         A, b = make_problem()
-        # Trigger 100 poisons a kernel after the panel loop (calibrated):
+        # Trigger 110 poisons a kernel after the panel loop (calibrated):
         # the panel-retry layer cannot catch it, the cycle checkpoint does.
-        ctx = scripted_ctx(FaultEvent("gpu0", "poison", trigger=100, position=9))
+        ctx = scripted_ctx(FaultEvent("gpu0", "poison", trigger=110, position=9))
         with np.errstate(invalid="ignore", over="ignore"):
             result = ca_gmres(
                 A, b, ctx=ctx, s=4, m=12, basis="monomial", tol=1e-8,

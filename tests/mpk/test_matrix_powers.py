@@ -185,3 +185,69 @@ class TestCommunication:
         V3 = DistMultiVector(ctx, part, 3)
         with pytest.raises(ValueError, match="shift ops"):
             mpk.run(V3, 0, [ShiftOp("none")])
+
+
+class TestClosureValidation:
+    """The per-device remap must reject columns outside the extended set."""
+
+    def _truncated_deps(self, A, part, s):
+        """Real dependencies, with device 1's last boundary shell row
+        dropped — a closure violation.  The dropped row is owned by
+        device 0, so it sits in device 0's extended set: a lookup scratch
+        left over from device 0 maps it to an in-range (but wrong) slot,
+        which is exactly the masking the reset guards against."""
+        from repro.mpk.dependency import MpkDependency, compute_dependencies
+
+        deps = list(compute_dependencies(A, part, s))
+        dep = deps[1]
+        assert dep.deltas[0].size > 1
+        cut = dep.deltas[0][:-1]
+        deps[1] = MpkDependency(
+            owned=dep.owned,
+            deltas=(cut,) + dep.deltas[1:],
+            ext_rows=np.concatenate([dep.owned, cut] + list(dep.deltas[1:])),
+            s=s,
+        )
+        return deps
+
+    def test_closure_violation_detected(self, monkeypatch):
+        A = poisson2d(6)
+        part = block_row_partition(A.n_rows, 2)
+        bad = self._truncated_deps(A, part, 1)
+        monkeypatch.setattr(
+            "repro.mpk.matrix_powers.compute_dependencies",
+            lambda *a, **k: bad,
+        )
+        ctx = MultiGpuContext(2)
+        with pytest.raises(AssertionError, match="closure violated.*gpu1"):
+            MatrixPowersKernel(ctx, A, part, 1)
+
+    def test_valid_closure_accepted(self):
+        A = poisson2d(6)
+        ctx = MultiGpuContext(2)
+        part = block_row_partition(A.n_rows, 2)
+        MatrixPowersKernel(ctx, A, part, 3)  # must not raise
+
+
+class TestCostAccounting:
+    def test_halo_placement_copies_charged(self):
+        """Every element entering the extended vector is a charged copy:
+        one own-part copy plus one halo copy per device with a nonempty
+        boundary, plus one result copy per generated column."""
+        A = poisson2d(8)
+        s = 3
+        ctx = MultiGpuContext(3)
+        part = block_row_partition(A.n_rows, 3)
+        mpk = MatrixPowersKernel(ctx, A, part, s)
+        V = DistMultiVector(ctx, part, s + 1)
+        V.set_column_from_host(0, np.ones(A.n_rows))
+        ctx.reset_clocks()
+        ctx.counters.reset()
+        mpk.run(V, 0)
+        halo_devices = sum(1 for b in mpk.boundary_sizes() if b > 0)
+        senders = sum(1 for s_ in mpk.exchange.send_local if s_.size > 0)
+        # Per device: one gather-compress copy (senders only), one own-part
+        # copy, one halo-placement copy (halo devices only), s result copies.
+        expected = senders + 3 * (1 + s) + halo_devices
+        assert ctx.counters.kernel_counts["copy/cublas"] == expected
+        assert halo_devices > 0  # the fix is actually exercised

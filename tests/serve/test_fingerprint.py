@@ -1,0 +1,71 @@
+"""Structural fingerprints: pattern-only hashing and key composition."""
+
+import numpy as np
+import pytest
+
+from repro.matrices import poisson2d
+from repro.serve.fingerprint import Fingerprint, fingerprint, pattern_hash, value_hash
+from repro.sparse.csr import CsrMatrix
+
+
+class TestPatternHash:
+    def test_deterministic(self):
+        A = poisson2d(6)
+        assert pattern_hash(A) == pattern_hash(A)
+        assert pattern_hash(A) == pattern_hash(A.copy())
+
+    def test_value_changes_do_not_move_pattern(self):
+        A = poisson2d(6)
+        B = CsrMatrix(A.shape, A.indptr, A.indices, 2.0 * A.data)
+        assert pattern_hash(A) == pattern_hash(B)
+        assert value_hash(A) != value_hash(B)
+
+    def test_pattern_changes_move_hash(self):
+        A = poisson2d(6)
+        B = poisson2d(7)
+        assert pattern_hash(A) != pattern_hash(B)
+
+    def test_shape_included(self):
+        # Same (empty) index arrays, different shapes.
+        a = CsrMatrix((2, 2), np.zeros(3, dtype=np.int64),
+                      np.empty(0, dtype=np.int64), np.empty(0))
+        b = CsrMatrix((3, 3), np.zeros(4, dtype=np.int64),
+                      np.empty(0, dtype=np.int64), np.empty(0))
+        assert pattern_hash(a) != pattern_hash(b)
+
+
+class TestFingerprint:
+    def test_roundtrip_fields(self):
+        A = poisson2d(6)
+        fp = fingerprint(A, "kway", 20, [5], ["gpu0", "gpu1"], True)
+        assert fp.ordering == "kway"
+        assert fp.m == 20
+        assert fp.mpk_lengths == (5,)
+        assert fp.roster == ("gpu0", "gpu1")
+        assert fp.balance is True
+        assert fp.preconditioner is None
+
+    def test_hashable_and_distinct_by_roster(self):
+        A = poisson2d(6)
+        f2 = fingerprint(A, "natural", 20, [5], ["gpu0", "gpu1"], True)
+        f3 = fingerprint(A, "natural", 20, [5], ["gpu0", "gpu1", "gpu2"], True)
+        assert f2 != f3
+        assert len({f2, f3, f2}) == 2
+
+    def test_host_key_drops_roster_and_m(self):
+        A = poisson2d(6)
+        f2 = fingerprint(A, "rcm", 20, [5], ["gpu0"], True)
+        f3 = fingerprint(A, "rcm", 30, [15], ["gpu0", "gpu1"], True)
+        assert f2.host_key() == f3.host_key()
+
+    def test_mpk_lengths_sorted(self):
+        A = poisson2d(6)
+        fa = fingerprint(A, "natural", 20, [15, 5], ["gpu0"], True)
+        fb = fingerprint(A, "natural", 20, [5, 15], ["gpu0"], True)
+        assert fa == fb
+
+    def test_frozen(self):
+        A = poisson2d(6)
+        fp = fingerprint(A, "natural", 20, [], ["gpu0"], True)
+        with pytest.raises(AttributeError):
+            fp.m = 99

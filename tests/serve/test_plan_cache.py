@@ -1,0 +1,155 @@
+"""PlanCache: two-level caching, stats, and roster-aware invalidation."""
+
+import numpy as np
+import pytest
+
+from repro.gpu.context import MultiGpuContext
+from repro.matrices import poisson2d
+from repro.order.partition import Partition
+from repro.serve import PlanCache
+
+
+@pytest.fixture
+def A():
+    return poisson2d(8)
+
+
+class TestHostPlans:
+    def test_shared_across_m_and_roster(self, A):
+        cache = PlanCache()
+        h1 = cache.host_plan(A, "natural", balance=True)
+        h2 = cache.host_plan(A, "natural", balance=True)
+        assert h1 is h2
+        assert cache.stats["host_hits"] == 1
+        assert cache.stats["host_misses"] == 1
+
+    def test_distinct_per_ordering_and_balance(self, A):
+        cache = PlanCache()
+        plans = {
+            cache.host_plan(A, "natural", balance=True).key,
+            cache.host_plan(A, "natural", balance=False).key,
+            cache.host_plan(A, "rcm", balance=True).key,
+            cache.host_plan(A, "kway", balance=True).key,
+        }
+        assert len(plans) == 4
+        assert cache.stats["host_misses"] == 4
+
+    def test_rcm_permutation_roundtrip(self, A, rng):
+        cache = PlanCache()
+        h = cache.host_plan(A, "rcm", balance=False)
+        assert h.perm is not None
+        v = rng.standard_normal(A.n_rows)
+        np.testing.assert_array_equal(
+            h.from_solve_order(h.to_solve_order(v)), v
+        )
+
+    def test_unknown_ordering_rejected(self, A):
+        with pytest.raises(ValueError, match="unknown ordering"):
+            PlanCache().host_plan(A, "metis")
+
+
+class TestStructuralPlans:
+    def test_hit_on_same_context_and_roster(self, A):
+        cache = PlanCache()
+        ctx = MultiGpuContext(2)
+        host = cache.host_plan(A, "natural")
+        p1 = cache.structural_plan(ctx, host, m=12, mpk_lengths=(4,))
+        p2 = cache.structural_plan(ctx, host, m=12, mpk_lengths=(4,))
+        assert p1 is p2
+        assert cache.stats["plan_hits"] == 1
+        assert cache.stats["plan_misses"] == 1
+
+    def test_distinct_per_m_and_mpk_lengths(self, A):
+        cache = PlanCache()
+        ctx = MultiGpuContext(2)
+        host = cache.host_plan(A, "natural")
+        p1 = cache.structural_plan(ctx, host, m=12, mpk_lengths=(4,))
+        p2 = cache.structural_plan(ctx, host, m=20, mpk_lengths=(4,))
+        p3 = cache.structural_plan(ctx, host, m=12, mpk_lengths=(5,))
+        assert len({p1.key, p2.key, p3.key}) == 3
+        assert p2.V.n_cols == 21
+
+    def test_replaced_context_invalidates(self, A):
+        cache = PlanCache()
+        host = cache.host_plan(A, "natural")
+        p1 = cache.structural_plan(MultiGpuContext(2), host, m=12)
+        p2 = cache.structural_plan(MultiGpuContext(2), host, m=12)
+        assert p1 is not p2
+        assert cache.stats["invalidations"] == 1
+        assert len(cache.plans) == 1  # stale entry replaced, not leaked
+
+    def test_partition_mismatch_invalidates(self, A):
+        cache = PlanCache()
+        ctx = MultiGpuContext(2)
+        host = cache.host_plan(A, "natural")
+        p1 = cache.structural_plan(ctx, host, m=12)
+        # Same roster, different assignment: a degraded-mode repartition.
+        mid = A.n_rows // 3
+        assignment = np.where(np.arange(A.n_rows) < mid, 0, 1)
+        skew = Partition(assignment=assignment, n_parts=2)
+        p2 = cache.structural_plan(ctx, host, m=12, partition=skew)
+        assert p2 is not p1
+        assert cache.stats["invalidations"] == 1
+        # Asking again with the same partition now hits.
+        p3 = cache.structural_plan(ctx, host, m=12, partition=skew)
+        assert p3 is p2
+
+    def test_prebuild_mpk_fills_the_plan_dict(self, A):
+        cache = PlanCache()
+        ctx = MultiGpuContext(2)
+        host = cache.host_plan(A, "natural")
+        p = cache.structural_plan(ctx, host, m=12, mpk_lengths=(4, 2),
+                                  prebuild_mpk=(4, 2))
+        assert sorted(p.mpk) == [2, 4]
+        # A cache hit must not rebuild existing closures.
+        mpk4 = p.mpk[4]
+        p2 = cache.structural_plan(ctx, host, m=12, mpk_lengths=(4, 2),
+                                   prebuild_mpk=(4,))
+        assert p2.mpk[4] is mpk4
+
+    def test_device_memory_accounting_positive(self, A):
+        cache = PlanCache()
+        ctx = MultiGpuContext(2)
+        host = cache.host_plan(A, "natural")
+        p = cache.structural_plan(ctx, host, m=12, mpk_lengths=(4,),
+                                  prebuild_mpk=(4,))
+        mem = p.device_memory_bytes()
+        assert len(mem) == 2 and all(x > 0 for x in mem)
+
+
+class TestInvalidation:
+    def _two_roster_plans(self, A, cache):
+        ctx3 = MultiGpuContext(3)
+        host = cache.host_plan(A, "natural")
+        full = cache.structural_plan(ctx3, host, m=12)
+        # A survivor-roster plan on the same context, gpu1 dropped.
+        ctx3.devices = [d for d in ctx3.all_devices if d.name != "gpu1"]
+        survivors = cache.structural_plan(ctx3, host, m=12)
+        ctx3.devices = list(ctx3.all_devices)
+        return full, survivors
+
+    def test_invalidate_device_drops_only_matching_rosters(self, A):
+        cache = PlanCache()
+        full, survivors = self._two_roster_plans(A, cache)
+        assert len(cache.plans) == 2
+        dropped = cache.invalidate_device("gpu1")
+        assert dropped == 1
+        assert survivors.key in cache.plans
+        assert full.key not in cache.plans
+        # Host plans are roster-free and must survive.
+        assert len(cache.host_plans) == 1
+
+    def test_clear_device_plans_keeps_host_plans(self, A):
+        cache = PlanCache()
+        self._two_roster_plans(A, cache)
+        assert cache.clear_device_plans() == 2
+        assert not cache.plans
+        assert len(cache.host_plans) == 1
+        assert cache.stats["invalidations"] == 2
+
+    def test_invalidate_missing_key_is_noop(self, A):
+        cache = PlanCache()
+        full, _ = self._two_roster_plans(A, cache)
+        assert cache.invalidate(full.key) is True
+        assert cache.invalidate(full.key) is False
+        assert cache.stats["invalidations"] == 1
