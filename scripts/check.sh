@@ -1,7 +1,8 @@
 #!/usr/bin/env bash
 # Repo check: lint (when ruff is available) + tier-1 test suite.
 #
-# Usage: scripts/check.sh [--faults] [--degrade] [--serve] [extra pytest args...]
+# Usage: scripts/check.sh [--faults] [--degrade] [--serve] [--metrics]
+#        [extra pytest args...]
 #
 #   --faults    additionally run a small fault-injection smoke campaign
 #               (python -m repro faults) after the test suite.
@@ -13,6 +14,10 @@
 #               (python -m repro serve, exits nonzero unless warm solves
 #               are bit-identical to cold) plus a session-mode fault
 #               campaign sharing one structural plan across trials.
+#   --metrics   additionally run a metrics smoke: the instrumented
+#               workload twice (python -m repro metrics --check, exits
+#               nonzero unless the deterministic snapshot and timings
+#               are bit-identical across the reruns).
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -20,11 +25,14 @@ cd "$(dirname "$0")/.."
 run_faults_smoke=0
 run_degrade_smoke=0
 run_serve_smoke=0
-while [[ "${1:-}" == "--faults" || "${1:-}" == "--degrade" || "${1:-}" == "--serve" ]]; do
+run_metrics_smoke=0
+while [[ "${1:-}" == "--faults" || "${1:-}" == "--degrade" \
+        || "${1:-}" == "--serve" || "${1:-}" == "--metrics" ]]; do
     case "$1" in
         --faults)  run_faults_smoke=1 ;;
         --degrade) run_degrade_smoke=1 ;;
         --serve)   run_serve_smoke=1 ;;
+        --metrics) run_metrics_smoke=1 ;;
     esac
     shift
 done
@@ -64,4 +72,9 @@ if [[ "$run_serve_smoke" == 1 ]]; then
     PYTHONPATH=src python -m repro faults \
         --nx 16 --m 12 --s 4 --max-restarts 40 --trials 2 --rate 1e-3 \
         --session
+fi
+
+if [[ "$run_metrics_smoke" == 1 ]]; then
+    echo "== metrics smoke (snapshot determinism enforced) =="
+    PYTHONPATH=src python -m repro metrics --suite tiny --check
 fi

@@ -1,0 +1,48 @@
+#!/usr/bin/env python
+"""Benchmark perf-regression gate CLI.
+
+Compare a fresh benchmark document against a committed baseline::
+
+    PYTHONPATH=src python scripts/perf_gate.py \
+        --current BENCH_serving.json \
+        --baseline benchmarks/baselines/serving_quick.json
+
+Exit code 1 on regression (CI fails).  Regenerate a baseline after an
+intentional perf change with ``--update``::
+
+    PYTHONPATH=src python scripts/perf_gate.py \
+        --current results/metrics/fig14_sim.json \
+        --baseline benchmarks/baselines/fig14_quick.json --update
+
+See :mod:`repro.metrics.gate` for the baseline schema and tolerance
+semantics.
+"""
+
+import argparse
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.metrics.gate import run_gate  # noqa: E402
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--current", required=True, help="fresh benchmark JSON document"
+    )
+    parser.add_argument(
+        "--baseline", required=True, help="committed baseline JSON file"
+    )
+    parser.add_argument(
+        "--update",
+        action="store_true",
+        help="rewrite the baseline from the current document instead of gating",
+    )
+    args = parser.parse_args(argv)
+    return run_gate(args.current, args.baseline, update=args.update)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -28,7 +28,7 @@ def _cmd_list(_args) -> int:
     print("experiments:")
     for name, doc in sorted(_EXPERIMENTS.items()):
         print(f"  {name:8s} {doc}")
-    print("\nother commands: solve, suite, trace, faults, serve")
+    print("\nother commands: solve, suite, trace, faults, serve, metrics")
     return 0
 
 
@@ -273,15 +273,27 @@ def _cmd_faults(args) -> int:
     from repro.faults.campaign import campaign_tables, run_campaign
 
     kinds = tuple(k.strip() for k in args.kinds.split(",") if k.strip())
+    registry = None
+    if args.metrics_out:
+        from repro.metrics import MetricsRegistry
+
+        registry = MetricsRegistry()
     campaign = run_campaign(
         solver=args.solver, problem=args.matrix, nx=args.nx,
         n_gpus=args.gpus, seed=args.seed, rate=args.rate, kinds=kinds,
         trials=args.trials, s=args.s, m=args.m, tol=args.tol,
         max_restarts=args.max_restarts, stall_factor=args.stall_factor,
         max_faults=args.max_faults, degrade=args.degrade,
-        deadline=args.deadline, session=args.session,
+        deadline=args.deadline, session=args.session, metrics=registry,
     )
     print(campaign_tables(campaign))
+    if registry is not None:
+        from repro.metrics import write_snapshot
+
+        path = Path(args.metrics_out)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        write_snapshot(registry, path)
+        print(f"\nwrote metrics snapshot {path} ({len(registry)} families)")
     if args.out:
         out_dir = Path(args.out)
         out_dir.mkdir(parents=True, exist_ok=True)
@@ -373,6 +385,54 @@ def _cmd_serve(args) -> int:
     return 0 if identical else 1
 
 
+def _cmd_metrics(args) -> int:
+    """Run the fig14-suite serving workload; export registry + timings."""
+    import json
+
+    from repro.metrics import (
+        deterministic_snapshot,
+        to_prometheus,
+        write_snapshot,
+    )
+    from repro.metrics.workload import run_workload
+
+    registry, fig14_doc = run_workload(
+        n_gpus=args.gpus, suite=args.suite, basis=args.basis
+    )
+    print(to_prometheus(registry), end="")
+
+    if args.out:
+        out_dir = Path(args.out)
+        out_dir.mkdir(parents=True, exist_ok=True)
+        (out_dir / "metrics.prom").write_text(to_prometheus(registry))
+        write_snapshot(registry, out_dir / "metrics.json")
+        (out_dir / "fig14_sim.json").write_text(
+            json.dumps(fig14_doc, indent=2, sort_keys=True) + "\n"
+        )
+        print(
+            f"\nwrote {out_dir}/metrics.prom, {out_dir}/metrics.json, "
+            f"{out_dir}/fig14_sim.json ({len(registry)} metric families)"
+        )
+
+    if args.check:
+        registry2, fig14_doc2 = run_workload(
+            n_gpus=args.gpus, suite=args.suite, basis=args.basis
+        )
+        same_snapshot = json.dumps(
+            deterministic_snapshot(registry), sort_keys=True
+        ) == json.dumps(deterministic_snapshot(registry2), sort_keys=True)
+        same_timings = fig14_doc == fig14_doc2
+        print(
+            f"\ndeterminism check: snapshot "
+            f"{'bit-identical' if same_snapshot else 'MISMATCH'}, "
+            f"timings {'bit-identical' if same_timings else 'MISMATCH'} "
+            "across two consecutive runs (wall-clock metrics excluded)"
+        )
+        if not (same_snapshot and same_timings):
+            return 1
+    return 0
+
+
 _EXPERIMENTS = {
     "fig06": "MPK surface-to-volume ratio vs s",
     "fig08": "MPK run time vs s (with ASCII plot)",
@@ -391,6 +451,7 @@ _HANDLERS = {
     "trace": _cmd_trace,
     "faults": _cmd_faults,
     "serve": _cmd_serve,
+    "metrics": _cmd_metrics,
 }
 
 
@@ -467,6 +528,9 @@ def main(argv: list[str] | None = None) -> int:
                    help="share one solver session (cached structural plan) "
                         "across all trials, re-arming the fault plan per "
                         "trial; records are byte-identical either way")
+    p.add_argument("--metrics-out", default=None,
+                   help="aggregate every trial's telemetry into a metrics "
+                        "registry and write its JSON snapshot to this file")
     p = sub.add_parser(
         "serve",
         help="stand up a solver session: plan once, then serve repeated "
@@ -488,6 +552,23 @@ def main(argv: list[str] | None = None) -> int:
     p.add_argument("--rhs", type=int, default=4,
                    help="right-hand sides for the batched solve_many demo")
     p.add_argument("--seed", type=int, default=0, help="RHS generator seed")
+    p = sub.add_parser(
+        "metrics",
+        help="run the fig14-suite serving workload, print Prometheus text "
+             "exposition, and write the JSON snapshot + simulated timings",
+    )
+    p.add_argument("--gpus", type=int, default=2)
+    p.add_argument("--suite", default="quick", choices=["quick", "tiny"],
+                   help="workload: 'quick' = reduced fig14 matrices, "
+                        "'tiny' = one small stencil (smoke tests)")
+    p.add_argument("--basis", default="newton", choices=["newton", "monomial"])
+    p.add_argument("--out", default=None,
+                   help="directory for metrics.prom / metrics.json / "
+                        "fig14_sim.json")
+    p.add_argument("--check", action="store_true",
+                   help="run the workload twice and verify the "
+                        "deterministic (simulated-time) metrics are "
+                        "bit-identical across runs")
     args = parser.parse_args(argv)
     return _HANDLERS[args.command](args)
 

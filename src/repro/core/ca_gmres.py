@@ -121,6 +121,7 @@ class CaGmresRun:
         degrade: DegradePolicy | None = None,
         deadline: float | None = None,
         plan=None,
+        on_cycle=None,
     ):
         if matrix.n_rows != matrix.n_cols:
             raise ValueError("ca_gmres requires a square matrix")
@@ -225,6 +226,7 @@ class CaGmresRun:
         self.converged = False
         self.restarts = 0
         self.iterations = 0
+        self.on_cycle = on_cycle
         self.breakdowns = 0
         self.tsqr_errors: list[dict] = []
         self.unrecovered: list[dict] = []
@@ -306,6 +308,7 @@ class CaGmresRun:
             if self.degrader is not None and self.degrader.deadline_reached():
                 return
             ctx.mark_cycle()
+            cycle_start = ctx.current_time()
             if self.basis == "newton" and self.shifts is None:
                 # Shift-seeding cycle: standard GMRES, Ritz values from its H.
                 def cycle(offset=self.iterations):
@@ -358,6 +361,8 @@ class CaGmresRun:
                 self.restarts += 1
                 self.iterations += cycle_iters
                 self.breakdowns += cycle_breakdowns
+            if self.on_cycle is not None:
+                self.on_cycle(self.restarts - 1, cycle_start, ctx.current_time())
             self.history.record_true(self.iterations, true_res)
             if true_res <= self.abs_tol:
                 self.converged = True
@@ -408,6 +413,7 @@ def ca_gmres(
     degrade: DegradePolicy | None = None,
     deadline: float | None = None,
     plan=None,
+    on_cycle=None,
 ) -> SolveResult:
     """Solve ``A x = b`` with CA-GMRES(s, m) on simulated GPUs.
 
@@ -471,6 +477,14 @@ def ca_gmres(
         dependency closure, and staged-exchange index sets are reused
         instead of recomputed.  Mutually exclusive with ``partition``;
         ``balance`` and ``preconditioner`` are taken from the plan.
+    on_cycle
+        Optional per-cycle callback ``on_cycle(index, start, end)``
+        invoked after every completed restart cycle (including a Newton
+        shift-seeding cycle) with the cycle index and its simulated
+        start/end times — the hook behind the
+        ``repro_solver_cycle_seconds`` metric (see
+        :func:`repro.metrics.collect.cycle_observer`).  Not called for a
+        cycle aborted by an unrecoverable fault.
 
     Returns
     -------
@@ -484,7 +498,7 @@ def ca_gmres(
         on_breakdown=on_breakdown, collect_tsqr_errors=collect_tsqr_errors,
         adaptive_s=adaptive_s, preconditioner=preconditioner,
         max_panel_retries=max_panel_retries, degrade=degrade,
-        deadline=deadline, plan=plan,
+        deadline=deadline, plan=plan, on_cycle=on_cycle,
     ).result()
 
 

@@ -199,6 +199,7 @@ class GmresRun:
         degrade: DegradePolicy | None = None,
         deadline: float | None = None,
         plan=None,
+        on_cycle=None,
     ):
         if matrix.n_rows != matrix.n_cols:
             raise ValueError("gmres requires a square matrix")
@@ -280,6 +281,7 @@ class GmresRun:
         self.converged = False
         self.restarts = 0
         self.iterations = 0
+        self.on_cycle = on_cycle
         self.unrecovered: list[dict] = []
         self.abs_tol = tol * history.initial_residual
         # Already at (numerical) convergence: a relative criterion on a zero
@@ -330,6 +332,7 @@ class GmresRun:
             if self.degrader is not None and self.degrader.deadline_reached():
                 return
             ctx.mark_cycle()
+            cycle_start = ctx.current_time()
 
             def cycle(offset=self.iterations):
                 info = run_gmres_cycle(
@@ -359,6 +362,8 @@ class GmresRun:
             info, true_res = outcome
             self.restarts += 1
             self.iterations += info.iterations
+            if self.on_cycle is not None:
+                self.on_cycle(self.restarts - 1, cycle_start, ctx.current_time())
             self.history.record_true(self.iterations, true_res)
             if true_res <= self.abs_tol:
                 self.converged = True
@@ -395,6 +400,7 @@ def gmres(
     degrade: DegradePolicy | None = None,
     deadline: float | None = None,
     plan=None,
+    on_cycle=None,
 ) -> SolveResult:
     """Solve ``A x = b`` with restarted GMRES(m) on simulated GPUs.
 
@@ -442,6 +448,13 @@ def gmres(
         distribution, halo index sets) is reused instead of recomputed.
         Mutually exclusive with ``partition``; ``balance`` and
         ``preconditioner`` are taken from the plan.
+    on_cycle
+        Optional per-cycle callback ``on_cycle(index, start, end)``
+        invoked after every completed restart cycle with the cycle index
+        and its simulated start/end times — the hook behind the
+        ``repro_solver_cycle_seconds`` metric (see
+        :func:`repro.metrics.collect.cycle_observer`).  Not called for a
+        cycle aborted by an unrecoverable fault.
 
     Returns
     -------
@@ -453,7 +466,7 @@ def gmres(
         max_restarts=max_restarts, orth_method=orth_method,
         gemv_variant=gemv_variant, balance=balance, x0=x0,
         preconditioner=preconditioner, degrade=degrade, deadline=deadline,
-        plan=plan,
+        plan=plan, on_cycle=on_cycle,
     ).result()
 
 

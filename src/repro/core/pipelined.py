@@ -70,6 +70,7 @@ def pipelined_gmres(
     balance: bool = True,
     degrade: DegradePolicy | None = None,
     deadline: float | None = None,
+    on_cycle=None,
 ) -> SolveResult:
     """Solve ``A x = b`` with one-stage pipelined GMRES(m).
 
@@ -78,7 +79,9 @@ def pipelined_gmres(
     ``degrade``/``deadline`` behave as in :func:`~repro.core.gmres.gmres`:
     device dropouts are absorbed by repartitioning over the survivors, and
     the solve stops at the first restart boundary past the simulated-time
-    budget.
+    budget.  ``on_cycle(index, start, end)`` is invoked after every
+    completed restart cycle with its simulated time window (see
+    :func:`repro.metrics.collect.cycle_observer`).
 
     Returns
     -------
@@ -148,6 +151,7 @@ def pipelined_gmres(
         if degrader is not None and degrader.deadline_reached():
             break
         ctx.mark_cycle()
+        cycle_start = ctx.current_time()
 
         def cycle(offset=iterations):
             j_used = _pipelined_cycle(
@@ -164,6 +168,8 @@ def pipelined_gmres(
         j_used, true_res = outcome
         restarts += 1
         iterations += j_used
+        if on_cycle is not None:
+            on_cycle(restarts - 1, cycle_start, ctx.current_time())
         history.record_true(iterations, true_res)
         if true_res <= abs_tol:
             converged = True

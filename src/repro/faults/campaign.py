@@ -58,6 +58,7 @@ def make_session(
     m: int = 20,
     tol: float = 1e-6,
     max_restarts: int = 80,
+    metrics=None,
 ):
     """One :class:`~repro.serve.SolverSession` for a whole campaign.
 
@@ -66,6 +67,8 @@ def make_session(
     trial; :meth:`~repro.serve.SolverSession.arm_fault_plan` swaps the
     fault schedule between trials on the long-lived context.  Only the
     sessionable solvers are supported (``pipelined`` has no Run form).
+    ``metrics`` (a :class:`~repro.metrics.registry.MetricsRegistry`) makes
+    the session record serving + solve telemetry labeled with ``problem``.
     """
     from ..serve import SolverSession
 
@@ -73,7 +76,8 @@ def make_session(
         raise ValueError(f"solver {solver!r} does not support session mode")
     A = _problems()[problem](nx)
     kwargs = dict(
-        n_gpus=n_gpus, m=m, tol=tol, max_restarts=max_restarts
+        n_gpus=n_gpus, m=m, tol=tol, max_restarts=max_restarts,
+        metrics=metrics, metrics_label=problem,
     )
     if solver == "ca_gmres":
         return SolverSession(A, solver="ca", s=s, **kwargs)
@@ -97,6 +101,7 @@ def run_trial(
     degrade: bool = False,
     deadline: float | None = None,
     session=None,
+    metrics=None,
 ) -> dict:
     """One solve under one fault plan; returns a flat record.
 
@@ -106,7 +111,10 @@ def run_trial(
     ``deadline`` sets a simulated-time budget in seconds.  With
     ``session`` (see :func:`make_session`) the solve reuses the session's
     cached structural plan and context instead of rebuilding them; the
-    record is byte-identical either way.
+    record is byte-identical either way.  ``metrics`` records the solve's
+    runtime + convergence + fault telemetry (labels ``solver``/``matrix``
+    = the solver and problem names); a session carrying its own registry
+    already records through it, so pass one or the other.
     """
     from ..core.degrade import DegradePolicy
     from ..gpu.context import MultiGpuContext
@@ -137,6 +145,10 @@ def run_trial(
         # guard catches them; silence the resulting NumPy warnings locally.
         with np.errstate(invalid="ignore", over="ignore"):
             result = solve(A, b, **kwargs)
+        if metrics is not None:
+            from ..metrics.collect import observe_solve
+
+            observe_solve(metrics, ctx, result, solver=solver, matrix=problem)
     faults = result.details.get("faults", _EMPTY_FAULTS)
     degradation = result.details.get("degradation")
     injected_by_kind = dict(Counter(r["kind"] for r in faults["injected"]))
@@ -186,6 +198,7 @@ def run_campaign(
     degrade: bool = False,
     deadline: float | None = None,
     session: bool = False,
+    metrics=None,
 ) -> dict:
     """Run ``trials`` solves (trial ``i`` seeded ``seed + i``); aggregate.
 
@@ -197,6 +210,10 @@ def run_campaign(
     (structural plan computed once, fault plans re-armed per trial); the
     per-trial records are byte-identical to the sessionless campaign, and
     the returned dict gains a ``"serving"`` key with the plan-cache stats.
+    ``metrics`` aggregates every trial's telemetry into one registry
+    (threaded through the session when ``session`` is set, through
+    :func:`run_trial` otherwise) — the ``--metrics-out`` CLI flag writes
+    it as a JSON snapshot.
     """
     if trials < 1:
         raise ValueError("trials must be >= 1")
@@ -212,7 +229,7 @@ def run_campaign(
     sess = (
         make_session(
             solver=solver, problem=problem, nx=nx, n_gpus=n_gpus,
-            s=s, m=m, tol=tol, max_restarts=max_restarts,
+            s=s, m=m, tol=tol, max_restarts=max_restarts, metrics=metrics,
         )
         if session
         else None
@@ -223,7 +240,7 @@ def run_campaign(
             seed=seed + i, rate=rate, kinds=kinds, s=s, m=m, tol=tol,
             max_restarts=max_restarts, stall_factor=stall_factor,
             max_faults=max_faults, degrade=degrade, deadline=deadline,
-            session=sess,
+            session=sess, metrics=metrics,
         )
         for i in range(trials)
     ]

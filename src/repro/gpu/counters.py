@@ -47,7 +47,14 @@ class Counters:
         self.kernel_counts[key] = self.kernel_counts.get(key, 0) + 1
 
     def reset(self) -> None:
-        """Zero every counter (marks are kept)."""
+        """Zero every counter and drop all marks.
+
+        Marks are snapshots of counter state, so a mark taken before a
+        reset would make :meth:`since` report negative deltas against the
+        rebased counters.  Resetting therefore invalidates all marks; a
+        later :meth:`since` for a pre-reset mark raises ``KeyError``
+        instead of silently returning nonsense.
+        """
         self.h2d_messages = 0
         self.h2d_bytes = 0
         self.d2h_messages = 0
@@ -59,6 +66,7 @@ class Counters:
         self.device_deactivations = 0
         self.repartitions = 0
         self.kernel_counts = {}
+        self._marks.clear()
 
     def snapshot(self) -> dict:
         """Immutable view of the current values."""

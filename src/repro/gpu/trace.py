@@ -192,6 +192,20 @@ class TraceRecorder:
         """Latest event end (0.0 on an empty trace)."""
         return max((e.end for e in self.events), default=0.0)
 
+    def lane_busy_totals(self) -> dict[str, float]:
+        """Busy seconds per lane: kernel time for device/host lanes, bus
+        occupancy (h2d/d2h intervals) for the PCIe lane.
+
+        Together with :meth:`end_time` this yields per-device utilization:
+        ``busy[lane] / end_time()`` is the fraction of the run the lane had
+        work in flight.
+        """
+        busy: dict[str, float] = {}
+        for e in self.events:
+            if e.kind == "kernel" or (e.lane == PCIE_LANE and e.kind in ("h2d", "d2h")):
+                busy[e.lane] = busy.get(e.lane, 0.0) + e.duration
+        return busy
+
     def kernel_totals(self) -> dict[str, dict]:
         """Per-kernel aggregates: count, total seconds, per-lane seconds."""
         out: dict[str, dict] = {}

@@ -1,0 +1,149 @@
+"""Exporters: Prometheus text exposition and a stable JSON snapshot.
+
+Both formats are deterministic: families sorted by name, samples sorted by
+label values, numbers rendered with ``repr`` (so ``0.1`` round-trips
+exactly).  Wall-clock metrics (families registered with
+``wall_clock=True``) are *included* by default — they are real telemetry —
+but can be excluded with ``include_wall_clock=False``, which is what the
+determinism tests and the CLI's ``--check`` mode compare.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from .registry import HistogramFamily, MetricsRegistry
+
+__all__ = [
+    "to_prometheus",
+    "snapshot",
+    "deterministic_snapshot",
+    "write_snapshot",
+    "SNAPSHOT_SCHEMA",
+]
+
+#: Schema tag stamped into every JSON snapshot.
+SNAPSHOT_SCHEMA = "repro-metrics/1"
+
+
+def _fmt(value) -> str:
+    """Deterministic Prometheus-compatible number rendering."""
+    if isinstance(value, bool):
+        return "1" if value else "0"
+    if isinstance(value, int):
+        return str(value)
+    f = float(value)
+    if f != f:  # NaN
+        return "NaN"
+    if f in (float("inf"), float("-inf")):
+        return "+Inf" if f > 0 else "-Inf"
+    if f == int(f) and abs(f) < 1e15:
+        return str(int(f))
+    return repr(f)
+
+
+def _escape(value: str) -> str:
+    return value.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
+
+
+def _label_str(labelnames, labelvalues, extra=()) -> str:
+    pairs = [
+        f'{name}="{_escape(value)}"'
+        for name, value in zip(labelnames, labelvalues)
+    ]
+    pairs.extend(f'{name}="{_escape(value)}"' for name, value in extra)
+    return "{" + ",".join(pairs) + "}" if pairs else ""
+
+
+def to_prometheus(registry: MetricsRegistry, include_wall_clock: bool = True) -> str:
+    """The registry as Prometheus text exposition (version 0.0.4).
+
+    Histograms render the standard cumulative ``_bucket{le=...}`` series
+    plus ``_sum`` and ``_count``.
+    """
+    lines: list[str] = []
+    for family in registry.families(include_wall_clock=include_wall_clock):
+        lines.append(f"# HELP {family.name} {_escape(family.help)}")
+        lines.append(f"# TYPE {family.name} {family.kind}")
+        if isinstance(family, HistogramFamily):
+            for labelvalues, entry in family.samples():
+                cum = 0
+                for edge, count in zip(family.edges, entry["buckets"]):
+                    cum += count
+                    labels = _label_str(
+                        family.labelnames, labelvalues, extra=(("le", _fmt(edge)),)
+                    )
+                    lines.append(f"{family.name}_bucket{labels} {cum}")
+                labels = _label_str(
+                    family.labelnames, labelvalues, extra=(("le", "+Inf"),)
+                )
+                lines.append(f"{family.name}_bucket{labels} {entry['count']}")
+                labels = _label_str(family.labelnames, labelvalues)
+                lines.append(f"{family.name}_sum{labels} {_fmt(entry['sum'])}")
+                lines.append(f"{family.name}_count{labels} {entry['count']}")
+        else:
+            for labelvalues, value in family.samples():
+                labels = _label_str(family.labelnames, labelvalues)
+                lines.append(f"{family.name}{labels} {_fmt(value)}")
+    return "\n".join(lines) + ("\n" if lines else "")
+
+
+def snapshot(registry: MetricsRegistry, include_wall_clock: bool = True) -> dict:
+    """The registry as a stable, JSON-friendly dict.
+
+    Shape::
+
+        {"schema": "repro-metrics/1",
+         "metrics": {name: {"type", "help", "labelnames", "wall_clock",
+                            "buckets" (histograms only),
+                            "samples": [{"labels": {...}, ...}, ...]}}}
+
+    Sample payloads: scalar ``"value"`` for counters/gauges;
+    ``"buckets"`` (cumulative counts per edge), ``"sum"``, ``"count"``
+    for histograms.
+    """
+    metrics: dict = {}
+    for family in registry.families(include_wall_clock=include_wall_clock):
+        samples = []
+        for labelvalues, entry in family.samples():
+            labels = dict(zip(family.labelnames, labelvalues))
+            if isinstance(family, HistogramFamily):
+                cum, cum_counts = 0, []
+                for count in entry["buckets"][:-1]:
+                    cum += count
+                    cum_counts.append(cum)
+                samples.append(
+                    {
+                        "labels": labels,
+                        "buckets": cum_counts,
+                        "sum": entry["sum"],
+                        "count": entry["count"],
+                    }
+                )
+            else:
+                samples.append({"labels": labels, "value": entry})
+        spec = {
+            "type": family.kind,
+            "help": family.help,
+            "labelnames": list(family.labelnames),
+            "wall_clock": family.wall_clock,
+            "samples": samples,
+        }
+        if isinstance(family, HistogramFamily):
+            spec["buckets"] = list(family.edges)
+        metrics[family.name] = spec
+    return {"schema": SNAPSHOT_SCHEMA, "metrics": metrics}
+
+
+def deterministic_snapshot(registry: MetricsRegistry) -> dict:
+    """Snapshot restricted to deterministic (simulated-time) metrics."""
+    return snapshot(registry, include_wall_clock=False)
+
+
+def write_snapshot(registry: MetricsRegistry, path, include_wall_clock=True) -> Path:
+    """Serialize :func:`snapshot` to ``path`` as sorted, indented JSON."""
+    path = Path(path)
+    doc = snapshot(registry, include_wall_clock=include_wall_clock)
+    path.write_text(json.dumps(doc, indent=2, sort_keys=True) + "\n")
+    return path

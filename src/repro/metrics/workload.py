@@ -1,0 +1,114 @@
+"""The metrics CLI's workload: a quick fig14-style serving suite.
+
+``python -m repro metrics`` needs a workload that (a) exercises every
+instrumented layer — solvers, serving sessions with cold/warm/batched
+solves, plan cache, runtime counters — and (b) finishes in seconds, so the
+CLI and the CI regression gate can run it on every commit.  This module
+scales the Fig. 14 suite (cant / G3_circuit / dielFilter analogs) down to
+a few thousand rows per matrix, keeping the paper's per-matrix solver
+configurations (restart length, block length, reorthogonalization).
+
+Everything simulated is a pure function of (suite, n_gpus, basis):
+:func:`run_workload` returns a registry whose deterministic snapshot is
+byte-identical across reruns, plus a fig14-style timing document for the
+perf-regression gate (:mod:`repro.metrics.gate`).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..matrices import cant, dielfilter, g3_circuit
+from ..matrices.stencil import poisson2d
+from ..serve import SolverSession
+from .registry import MetricsRegistry
+
+__all__ = ["SUITES", "run_workload"]
+
+#: Per-suite case tables: matrix builder + solver configuration.  The
+#: ``quick`` suite mirrors the Fig. 14 matrices at reduced sizes; ``tiny``
+#: is a single small stencil for smoke tests.
+SUITES = {
+    "quick": {
+        "cant": dict(
+            build=lambda: cant(nx=24, ny=8, nz=8), m=60, s=15, reorth=2,
+        ),
+        "g3_circuit": dict(
+            build=lambda: g3_circuit(nx=64, ny=64), m=30, s=15, reorth=1,
+        ),
+        "dielfilter": dict(
+            build=lambda: dielfilter(nx=12, ny=12, nz=12), m=60, s=15, reorth=2,
+        ),
+    },
+    "tiny": {
+        "poisson2d": dict(
+            build=lambda: poisson2d(16), m=12, s=4, reorth=1,
+        ),
+    },
+}
+
+#: Restart-loop cap, as in the fig14 benchmark (timings are per-loop
+#: averages, so capped runs are representative and fast).
+MAX_RESTARTS = 4
+
+
+def run_workload(
+    n_gpus: int = 2,
+    suite: str = "quick",
+    basis: str = "newton",
+    registry: MetricsRegistry | None = None,
+) -> tuple[MetricsRegistry, dict]:
+    """Run the serving workload; returns ``(registry, fig14_doc)``.
+
+    Per matrix, a GMRES/CGS session and a CA-GMRES session each answer a
+    cold solve, a warm solve, and (CA only) a batched ``solve_many`` —
+    exercising plan-cache misses and hits, single and batched serving
+    paths, and both solvers' cycle hooks.  ``fig14_doc`` carries the warm
+    solves' simulated timings in the shape the regression gate consumes.
+    """
+    if suite not in SUITES:
+        raise ValueError(f"unknown suite {suite!r}; choose from {sorted(SUITES)}")
+    if registry is None:
+        registry = MetricsRegistry()
+    cases = []
+    for matrix_name, spec in SUITES[suite].items():
+        A = spec["build"]()
+        b = np.ones(A.n_rows)
+        for solver, extra in (
+            ("gmres", {}),
+            ("ca", dict(s=spec["s"], basis=basis, reorth=spec["reorth"])),
+        ):
+            sess = SolverSession(
+                A,
+                solver=solver,
+                n_gpus=n_gpus,
+                m=spec["m"],
+                tol=1e-4,
+                max_restarts=MAX_RESTARTS,
+                metrics=registry,
+                metrics_label=matrix_name,
+                **extra,
+            )
+            sess.solve(b)  # cold: builds the structural plan
+            warm = sess.solve(b)  # warm: bit-identical, plan-cache hit
+            if solver == "ca":
+                sess.solve_many([b, 2.0 * b])
+            cases.append(
+                {
+                    "matrix": matrix_name,
+                    "solver": sess._solver_label,
+                    "sim_time_ms": 1e3 * warm.total_time,
+                    "iterations": warm.n_iterations,
+                    "restarts": warm.n_restarts,
+                    "converged": bool(warm.converged),
+                }
+            )
+    fig14_doc = {
+        "benchmark": "fig14_quick_sim",
+        "suite": suite,
+        "n_gpus": n_gpus,
+        "basis": basis,
+        "max_restarts": MAX_RESTARTS,
+        "cases": cases,
+    }
+    return registry, fig14_doc

@@ -29,6 +29,7 @@ assert byte-for-byte equality of warm and cold solves.
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field
 
 import numpy as np
@@ -36,6 +37,7 @@ import numpy as np
 from ..core.balance import balance_matrix
 from ..dist.matrix import DistributedMatrix
 from ..dist.multivector import DistMultiVector
+from ..gpu.trace import REGION_LANE
 from ..mpk.matrix_powers import MatrixPowersKernel
 from ..order.kway import kway_partition
 from ..order.partition import Partition, block_row_partition
@@ -188,6 +190,17 @@ class PlanCache:
     :class:`Fingerprint` — these hold device-resident state, so entries
     are dropped when their roster or context goes away while the host
     entries survive untouched.
+
+    With a :class:`~repro.metrics.registry.MetricsRegistry` attached via
+    :attr:`metrics`, every lookup increments
+    ``repro_plan_cache_requests_total{level,outcome}``, every drop
+    ``repro_plan_cache_invalidations_total``, and every miss observes its
+    *host wall-clock* build time in ``repro_plan_build_seconds{level}``
+    (flagged nondeterministic).  Structural-plan builds additionally leave
+    a zero-duration ``plan-build`` marker on the trace's region lane
+    (kind ``"plan"``) carrying the measured ``host_seconds`` — visible in
+    Chrome-trace exports without perturbing ``ctx.timers`` or the
+    simulated timeline, so warm/cold solves stay bit-identical.
     """
 
     host_plans: dict = field(default_factory=dict)
@@ -201,6 +214,24 @@ class PlanCache:
             "invalidations": 0,
         }
     )
+    metrics: object | None = None
+    #: Args of the most recent structural-plan build's trace marker.  The
+    #: solver run constructors reset the context clocks (wiping the trace),
+    #: so :class:`~repro.serve.session.SolverSession` re-emits the marker
+    #: from this stash once the run — and its fresh trace — exists.
+    last_structural_build: dict | None = field(default=None, compare=False)
+
+    def _note_request(self, level: str, outcome: str) -> None:
+        if self.metrics is not None:
+            from ..metrics.collect import plan_cache_requests_total
+
+            plan_cache_requests_total(self.metrics).inc(level=level, outcome=outcome)
+
+    def _note_build(self, level: str, seconds: float) -> None:
+        if self.metrics is not None:
+            from ..metrics.collect import plan_build_seconds
+
+            plan_build_seconds(self.metrics).observe(seconds, level=level)
 
     # -- level 1: host plans ------------------------------------------------
     def host_plan(
@@ -224,8 +255,11 @@ class PlanCache:
         cached = self.host_plans.get(key)
         if cached is not None:
             self.stats["host_hits"] += 1
+            self._note_request("host", "hit")
             return cached
         self.stats["host_misses"] += 1
+        self._note_request("host", "miss")
+        build_start = time.perf_counter()
         perm = rcm(matrix) if ordering == "rcm" else None
         A_p = matrix.permute(perm) if perm is not None else matrix
         A_pre = preconditioner.fold(A_p) if preconditioner is not None else A_p
@@ -240,6 +274,7 @@ class PlanCache:
             preconditioner=preconditioner,
         )
         self.host_plans[key] = plan
+        self._note_build("host", time.perf_counter() - build_start)
         return plan
 
     # -- level 2: roster-dependent plans ------------------------------------
@@ -271,10 +306,13 @@ class PlanCache:
             )
             if not stale:
                 self.stats["plan_hits"] += 1
+                self._note_request("structural", "hit")
                 cached.ensure_mpk(prebuild_mpk)
                 return cached
             self.invalidate(key)
         self.stats["plan_misses"] += 1
+        self._note_request("structural", "miss")
+        build_start = time.perf_counter()
         if partition is None:
             if host.ordering == "kway":
                 partition = kway_partition(host.operator, len(roster))
@@ -283,6 +321,25 @@ class PlanCache:
         plan = StructuralPlan(key, host, ctx, partition, self)
         plan.ensure_mpk(prebuild_mpk)
         self.plans[key] = plan
+        host_seconds = time.perf_counter() - build_start
+        self._note_build("structural", host_seconds)
+        # Zero-duration marker on the region lane: plan construction is host
+        # work outside the simulated timeline, so it must not shift clocks or
+        # region totals — kind "plan" keeps it out of region aggregation.
+        self.last_structural_build = dict(
+            host_seconds=host_seconds,
+            level="structural",
+            m=int(m),
+            roster=list(roster),
+        )
+        ctx.trace.record(
+            "plan-build",
+            REGION_LANE,
+            "plan",
+            ctx.current_time(),
+            0.0,
+            **self.last_structural_build,
+        )
         return plan
 
     # -- invalidation --------------------------------------------------------
@@ -291,6 +348,10 @@ class PlanCache:
         if key in self.plans:
             del self.plans[key]
             self.stats["invalidations"] += 1
+            if self.metrics is not None:
+                from ..metrics.collect import plan_cache_invalidations_total
+
+                plan_cache_invalidations_total(self.metrics).inc()
             return True
         return False
 

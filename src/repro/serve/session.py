@@ -25,6 +25,7 @@ replay determinism is defined per-solve.
 from __future__ import annotations
 
 import dataclasses
+import time
 
 import numpy as np
 
@@ -32,6 +33,7 @@ from ..core.ca_gmres import CaGmresRun
 from ..core.convergence import SolveResult
 from ..core.gmres import GmresRun
 from ..gpu.context import MultiGpuContext
+from ..gpu.trace import REGION_LANE
 from ..sparse.csr import CsrMatrix
 from .fingerprint import Fingerprint
 from .plan import ORDERINGS, PlanCache, StructuralPlan
@@ -76,6 +78,18 @@ class SolverSession:
     cache
         Optional shared :class:`~repro.serve.plan.PlanCache`; sessions on
         the same context may share one to pool host-level plans.
+    metrics
+        Optional :class:`~repro.metrics.registry.MetricsRegistry`.  The
+        session then records serving telemetry — request counts, cold vs
+        warm host wall-clock latency (``repro_serve_request_seconds``,
+        nondeterministic by nature), batch occupancy for
+        :meth:`solve_many`, per-cycle simulated durations via the
+        solvers' ``on_cycle`` hook, and the full per-solve runtime +
+        convergence telemetry (see :mod:`repro.metrics.collect`) — and
+        attaches itself to the plan cache for hit/miss accounting.
+    metrics_label
+        Value for the ``matrix`` label on this session's metrics
+        (defaults to empty; pass the workload name, e.g. ``"cant"``).
     **solver_kwargs
         Remaining solver options (``tsqr_method``, ``reorth``,
         ``use_mpk``, ``orth_method``, ``degrade``, ``deadline``, ...)
@@ -97,6 +111,8 @@ class SolverSession:
         max_restarts: int = 500,
         preconditioner=None,
         cache: PlanCache | None = None,
+        metrics=None,
+        metrics_label: str = "",
         **solver_kwargs,
     ):
         if solver not in ("ca", "gmres"):
@@ -120,6 +136,10 @@ class SolverSession:
         self.preconditioner = preconditioner
         self.solver_kwargs = dict(solver_kwargs)
         self.cache = cache if cache is not None else PlanCache()
+        self.metrics = metrics
+        self.metrics_label = str(metrics_label)
+        if metrics is not None:
+            self.cache.metrics = metrics
         self.n_solves = 0
         if solver == "ca":
             use_mpk = self.solver_kwargs.get("use_mpk", True)
@@ -164,6 +184,10 @@ class SolverSession:
         """
         self.ctx.arm_fault_plan(fault_plan)
 
+    @property
+    def _solver_label(self) -> str:
+        return "ca_gmres" if self.solver == "ca" else "gmres"
+
     # ------------------------------------------------------------------
     def _make_run(self, b: np.ndarray, overrides: dict):
         bad = set(overrides) - _PER_SOLVE_KWARGS
@@ -178,6 +202,7 @@ class SolverSession:
             # on the full roster (the survivor-roster entry stays cached for
             # the next mid-solve repartition).
             self.ctx.reset_clocks()
+        plan_misses_before = self.cache.stats["plan_misses"]
         plan = self.plan
         host = plan.host
         b = np.asarray(b, dtype=np.float64)
@@ -188,6 +213,12 @@ class SolverSession:
         kwargs = dict(self.solver_kwargs)
         kwargs.pop("use_mpk", None)
         kwargs.update(overrides)
+        if self.metrics is not None and "on_cycle" not in kwargs:
+            from ..metrics.collect import cycle_observer
+
+            kwargs["on_cycle"] = cycle_observer(
+                self.metrics, solver=self._solver_label, matrix=self.metrics_label
+            )
         x0 = kwargs.pop("x0", None)
         if x0 is not None:
             x0 = host.to_solve_order(np.asarray(x0, dtype=np.float64))
@@ -208,6 +239,14 @@ class SolverSession:
             )
         else:
             run = GmresRun(host.matrix, b_p, **common, **kwargs)
+        if self.cache.stats["plan_misses"] > plan_misses_before:
+            # The run constructor reset the clocks and wiped the trace —
+            # re-emit the plan-build marker onto the fresh timeline so cold
+            # runs show where their structural plan came from.
+            self.ctx.trace.record(
+                "plan-build", REGION_LANE, "plan", self.ctx.current_time(),
+                0.0, **self.cache.last_structural_build,
+            )
         run._serve_host = host
         return run
 
@@ -226,7 +265,29 @@ class SolverSession:
         ``max_restarts``, ``x0``, ``degrade``, ``deadline``, ...);
         structural options are fixed for the session's lifetime.
         """
-        return self._postprocess(self._make_run(b, overrides))
+        if self.metrics is None:
+            return self._postprocess(self._make_run(b, overrides))
+        from ..metrics.collect import (
+            observe_solve,
+            serve_request_seconds,
+            serve_requests_total,
+        )
+
+        labels = {"solver": self._solver_label, "matrix": self.metrics_label}
+        misses_before = (
+            self.cache.stats["plan_misses"] + self.cache.stats["host_misses"]
+        )
+        wall_start = time.perf_counter()
+        result = self._postprocess(self._make_run(b, overrides))
+        wall = time.perf_counter() - wall_start
+        misses_after = (
+            self.cache.stats["plan_misses"] + self.cache.stats["host_misses"]
+        )
+        plan = "cold" if misses_after > misses_before else "warm"
+        serve_request_seconds(self.metrics).observe(wall, plan=plan, **labels)
+        serve_requests_total(self.metrics).inc(mode="single", **labels)
+        observe_solve(self.metrics, self.ctx, result, **labels)
+        return result
 
     def solve_many(
         self,
@@ -258,6 +319,35 @@ class SolverSession:
             return [self.solve(b, **overrides) for b in bs]
         runs = [self._make_run(b, overrides) for b in bs]
         pending = list(runs)
+        rounds = 0
+        step_calls = 0
         while pending:
+            rounds += 1
+            step_calls += len(pending)
             pending = [run for run in pending if run.step()]
-        return [self._postprocess(run) for run in runs]
+        results = [self._postprocess(run) for run in runs]
+        if self.metrics is not None and runs:
+            from ..metrics.collect import (
+                observe_context,
+                observe_result,
+                serve_batch_occupancy,
+                serve_batch_rhs_total,
+                serve_requests_total,
+            )
+
+            labels = {"solver": self._solver_label, "matrix": self.metrics_label}
+            # Occupancy: fraction of round-robin slots still holding live
+            # solves; 1.0 means every RHS ran for the full batch duration.
+            occupancy = step_calls / (rounds * len(runs)) if rounds else 1.0
+            serve_batch_occupancy(self.metrics).set(occupancy, **labels)
+            serve_batch_rhs_total(self.metrics).inc(len(runs), **labels)
+            serve_requests_total(self.metrics).inc(
+                len(runs), mode="batched", **labels
+            )
+            # The trace/counters describe the interleaved batch as a whole
+            # (each run's constructor reset the clocks; the last reset
+            # precedes the first cycle), so bridge the context once.
+            observe_context(self.metrics, self.ctx, **labels)
+            for result in results:
+                observe_result(self.metrics, result, **labels)
+        return results

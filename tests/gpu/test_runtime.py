@@ -38,6 +38,20 @@ class TestCounters:
         with pytest.raises(KeyError):
             Counters().since("nope")
 
+    def test_reset_invalidates_marks(self):
+        # Regression: marks are snapshots of counter state, so a mark
+        # surviving reset() would make since() report negative deltas.
+        c = Counters()
+        c.h2d_messages = 4
+        c.mark("before")
+        c.reset()
+        with pytest.raises(KeyError):
+            c.since("before")
+        # Fresh marks after reset work as usual.
+        c.mark("after")
+        c.h2d_messages += 2
+        assert c.since("after")["h2d_messages"] == 2
+
 
 class TestPcieBus:
     def test_message_time(self):

@@ -1,0 +1,33 @@
+#!/usr/bin/env python
+"""Regenerate the exporter golden files from the synthetic registry.
+
+Run after an *intentional* exporter format change::
+
+    PYTHONPATH=src python tests/metrics/make_golden.py
+"""
+
+import json
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parents[2] / "src"))
+sys.path.insert(0, str(Path(__file__).resolve().parents[1]))
+
+from repro.metrics import snapshot, to_prometheus  # noqa: E402
+
+from metrics.test_exporters import GOLDEN, build_synthetic_registry  # noqa: E402
+
+
+def main() -> None:
+    GOLDEN.mkdir(exist_ok=True)
+    reg = build_synthetic_registry()
+    (GOLDEN / "synthetic.prom").write_text(to_prometheus(reg))
+    (GOLDEN / "synthetic.json").write_text(
+        json.dumps(snapshot(reg), indent=2, sort_keys=True) + "\n"
+    )
+    print(f"wrote {GOLDEN / 'synthetic.prom'}")
+    print(f"wrote {GOLDEN / 'synthetic.json'}")
+
+
+if __name__ == "__main__":
+    main()

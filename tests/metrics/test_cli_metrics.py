@@ -1,0 +1,48 @@
+"""CLI coverage: ``python -m repro metrics`` and ``faults --metrics-out``."""
+
+import json
+
+from repro.__main__ import main
+from repro.metrics import SNAPSHOT_SCHEMA
+
+
+class TestMetricsCli:
+    def test_metrics_prints_exposition(self, capsys):
+        assert main(["metrics", "--suite", "tiny", "--gpus", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "# TYPE repro_solves_total counter" in out
+        assert "# TYPE repro_solver_cycle_seconds histogram" in out
+        assert 'solver="ca_gmres"' in out
+        assert "_bucket{" in out and 'le="+Inf"' in out
+
+    def test_metrics_out_writes_artifacts(self, tmp_path, capsys):
+        assert main(
+            ["metrics", "--suite", "tiny", "--out", str(tmp_path)]
+        ) == 0
+        snap = json.loads((tmp_path / "metrics.json").read_text())
+        assert snap["schema"] == SNAPSHOT_SCHEMA
+        assert "repro_solves_total" in snap["metrics"]
+        assert (tmp_path / "metrics.prom").read_text().startswith("# HELP")
+        fig14 = json.loads((tmp_path / "fig14_sim.json").read_text())
+        assert fig14["benchmark"] == "fig14_quick_sim"
+        assert fig14["suite"] == "tiny"
+
+    def test_metrics_check_passes(self, capsys):
+        assert main(["metrics", "--suite", "tiny", "--check"]) == 0
+        out = capsys.readouterr().out
+        assert "bit-identical" in out
+
+    def test_metrics_listed(self, capsys):
+        assert main(["list"]) == 0
+        assert "metrics" in capsys.readouterr().out
+
+    def test_faults_metrics_out(self, tmp_path, capsys):
+        code = main(
+            ["faults", "--trials", "1", "--nx", "10", "--max-restarts", "20",
+             "--metrics-out", str(tmp_path / "faults_metrics.json")]
+        )
+        assert code in (0, 1)
+        snap = json.loads((tmp_path / "faults_metrics.json").read_text())
+        assert snap["schema"] == SNAPSHOT_SCHEMA
+        assert "repro_solves_total" in snap["metrics"]
+        assert "repro_faults_injected_total" in snap["metrics"]

@@ -1,0 +1,123 @@
+"""Exporter golden files and format contracts.
+
+The golden files under ``tests/metrics/golden/`` pin the exact byte-level
+output of both exporters for a small synthetic registry.  Regenerate them
+(after an intentional format change) with::
+
+    PYTHONPATH=src python tests/metrics/make_golden.py
+"""
+
+import json
+from pathlib import Path
+
+from repro.metrics import (
+    MetricsRegistry,
+    SNAPSHOT_SCHEMA,
+    snapshot,
+    deterministic_snapshot,
+    to_prometheus,
+    write_snapshot,
+)
+
+GOLDEN = Path(__file__).parent / "golden"
+
+
+def build_synthetic_registry() -> MetricsRegistry:
+    """A fixed registry covering every exporter code path.
+
+    Counters with and without labels, a gauge with a non-integral value, a
+    histogram with multiple label sets, escaped label values, and a
+    wall-clock family (excluded from the deterministic golden).
+    """
+    reg = MetricsRegistry()
+    c = reg.counter(
+        "repro_demo_kernel_launches_total",
+        "Kernel launches by device and kernel.",
+        labelnames=("device", "kernel"),
+    )
+    c.inc(3, device="gpu0", kernel="gemm_tn/cublas")
+    c.inc(1, device="gpu1", kernel="spmv_csr")
+    reg.counter("repro_demo_solves_total", "Completed solves.").inc(2)
+    reg.gauge("repro_demo_utilization", "Busy fraction.", labelnames=("device",)).set(
+        0.625, device="gpu0"
+    )
+    g = reg.gauge("repro_demo_escapes", "Label escaping.", labelnames=("path",))
+    g.set(1.0, path='a\\b"c\nd')
+    h = reg.histogram(
+        "repro_demo_cycle_seconds",
+        "Cycle times.",
+        labelnames=("solver",),
+        buckets=(0.001, 0.01, 0.1),
+    )
+    for v in (0.0005, 0.002, 0.05, 0.5):
+        h.observe(v, solver="ca_gmres")
+    h.observe(0.02, solver="gmres")
+    w = reg.histogram(
+        "repro_demo_wall_seconds",
+        "Host wall-clock (nondeterministic).",
+        buckets=(1.0,),
+        wall_clock=True,
+    )
+    w.observe(0.5)
+    return reg
+
+
+def test_prometheus_matches_golden():
+    text = to_prometheus(build_synthetic_registry())
+    assert text == (GOLDEN / "synthetic.prom").read_text()
+
+
+def test_snapshot_matches_golden():
+    doc = snapshot(build_synthetic_registry())
+    golden = json.loads((GOLDEN / "synthetic.json").read_text())
+    assert doc == golden
+    # Byte-level too: write_snapshot's serialization is the stable form.
+    rendered = json.dumps(doc, indent=2, sort_keys=True) + "\n"
+    assert rendered == (GOLDEN / "synthetic.json").read_text()
+
+
+def test_exporters_are_rerun_stable():
+    a = to_prometheus(build_synthetic_registry())
+    b = to_prometheus(build_synthetic_registry())
+    assert a == b
+    sa = json.dumps(snapshot(build_synthetic_registry()), sort_keys=True)
+    sb = json.dumps(snapshot(build_synthetic_registry()), sort_keys=True)
+    assert sa == sb
+
+
+def test_histogram_buckets_are_cumulative_in_exposition():
+    reg = MetricsRegistry()
+    h = reg.histogram("h_seconds", buckets=(1.0, 2.0))
+    for v in (0.5, 1.5, 1.7, 5.0):
+        h.observe(v)
+    text = to_prometheus(reg)
+    assert 'h_seconds_bucket{le="1"} 1' in text
+    assert 'h_seconds_bucket{le="2"} 3' in text
+    assert 'h_seconds_bucket{le="+Inf"} 4' in text
+    assert "h_seconds_count 4" in text
+    doc = snapshot(reg)
+    sample = doc["metrics"]["h_seconds"]["samples"][0]
+    assert sample["buckets"] == [1, 3]  # cumulative, +Inf implied by count
+    assert sample["count"] == 4
+
+
+def test_wall_clock_exclusion():
+    reg = build_synthetic_registry()
+    full = to_prometheus(reg)
+    det = to_prometheus(reg, include_wall_clock=False)
+    assert "repro_demo_wall_seconds" in full
+    assert "repro_demo_wall_seconds" not in det
+    assert "repro_demo_wall_seconds" not in deterministic_snapshot(reg)["metrics"]
+    assert deterministic_snapshot(reg)["schema"] == SNAPSHOT_SCHEMA
+
+
+def test_empty_registry_exports_empty():
+    reg = MetricsRegistry()
+    assert to_prometheus(reg) == ""
+    assert snapshot(reg) == {"schema": SNAPSHOT_SCHEMA, "metrics": {}}
+
+
+def test_write_snapshot_round_trips(tmp_path):
+    path = write_snapshot(build_synthetic_registry(), tmp_path / "m.json")
+    doc = json.loads(path.read_text())
+    assert doc == snapshot(build_synthetic_registry())
